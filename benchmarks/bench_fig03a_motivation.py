@@ -1,0 +1,24 @@
+"""Figure 3a — FastRW bandwidth collapse (motivation, Observation #1).
+
+Regenerates the bottom-up analysis: FastRW's effective bandwidth on WG
+(row pointers cached on-chip) vs LJ (working set spills), against the
+Equation (1) random-access peak.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig3a_motivation
+
+
+def test_fig3a_fastrw_bandwidth_collapse(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig3a_motivation))
+
+    wg = result.row_for(graph="WG")
+    lj = result.row_for(graph="LJ")
+    # The cliff: WG enjoys a far higher cache hit rate and utilization.
+    assert wg["cache_hit_rate"] > 0.9
+    assert lj["cache_hit_rate"] < 0.8
+    assert wg["utilization"] > 2 * lj["utilization"]
+    # Neither exceeds the Equation (1) peak.
+    assert wg["effective_gbs"] <= wg["peak_gbs"] * 1.01
+    assert lj["effective_gbs"] <= lj["peak_gbs"] * 1.01

@@ -1,0 +1,23 @@
+"""Figure 8a — DeepWalk throughput: RidgeWalker vs FastRW on U50.
+
+Paper shape: RidgeWalker wins everywhere; the speedup grows with graph
+size (2.2x on cache-resident WG up to 71x on LJ) because FastRW's
+frequency cache collapses once the working set spills on-chip SRAM.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig8a_fastrw
+
+
+def test_fig8a_deepwalk_vs_fastrw(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig8a_fastrw))
+
+    speedups = {row["graph"]: row["speedup"] for row in result.rows}
+    # RidgeWalker wins on every dataset.
+    assert all(s > 1.0 for s in speedups.values()), speedups
+    # The win is small on cache-resident WG and large on LJ.
+    assert speedups["WG"] < 6.0
+    assert speedups["LJ"] > 2 * speedups["WG"]
+    # Largest two graphs (AS, LJ) beat the small ones.
+    assert min(speedups["AS"], speedups["LJ"]) > min(speedups["WG"], speedups["CP"])

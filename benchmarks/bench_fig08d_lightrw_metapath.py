@@ -1,0 +1,24 @@
+"""Figure 8d — MetaPath: RidgeWalker vs LightRW on U250.
+
+Paper shape: 1.3x-1.7x — a *larger* gap than Node2Vec (Figure 8c)
+because typed walks terminate early when no admissible neighbor exists,
+and LightRW's static slots ride empty while RidgeWalker's scheduler
+refills them.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig8d_lightrw_metapath
+from repro.bench.reporting import geometric_mean
+
+
+def test_fig8d_metapath_vs_lightrw(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig8d_lightrw_metapath))
+
+    speedups = result.column("speedup")
+    assert all(s > 0.7 for s in speedups), speedups
+    assert geometric_mean(speedups) > 1.1
+    # Early termination shows up as LightRW bubbles on directed graphs.
+    bubbles = {row["graph"]: row["lightrw_bubbles"] for row in result.rows}
+    assert bubbles["WG"] > 0.1
+    assert bubbles["CP"] > 0.1

@@ -1,0 +1,50 @@
+"""Figure 11 — breakdown of the asynchronous pipeline and the scheduler.
+
+Paper shape: enabling the zero-bubble scheduler alone gives 1.6x-4.8x
+(small on undirected LJ, large where early termination bites); the
+asynchronous pipeline alone gives 6.8x-14.7x; together they compound to
+12.4x-16.7x and up to 88% of the Equation (1) HBM peak.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig11_ablation
+
+
+def test_fig11_breakdown(benchmark, record_result):
+    result = record_result(run_once(benchmark, fig11_ablation))
+
+    by_graph: dict[str, dict[str, dict]] = {}
+    for row in result.rows:
+        by_graph.setdefault(row["graph"], {})[row["variant"]] = row
+
+    for graph, variants in by_graph.items():
+        base = variants["baseline"]["msteps"]
+        sched = variants["scheduler-only"]["msteps"]
+        async_ = variants["async-only"]["msteps"]
+        full = variants["full"]["msteps"]
+        # Each optimization helps; async is the bigger single lever;
+        # the combination beats either alone.
+        assert sched >= base * 0.95, (graph, base, sched)
+        assert async_ > base * 1.5, (graph, base, async_)
+        assert async_ > sched, (graph, sched, async_)
+        assert full > async_ * 0.95, (graph, async_, full)
+        assert full > base * 4.0, (graph, base, full)
+
+    # The scheduler matters most where walks die early (directed WG/CP
+    # ghosts) and least on the undirected graphs (AS/LJ).
+    sched_gain = {
+        g: v["scheduler-only"]["speedup_over_baseline"] for g, v in by_graph.items()
+    }
+    if "LJ" in sched_gain and "WG" in sched_gain:
+        assert sched_gain["WG"] >= sched_gain["LJ"] * 0.95
+
+    # Ghost laps appear only in the bulk-synchronous variants.
+    for graph, variants in by_graph.items():
+        assert variants["full"]["ghost_laps"] == 0
+        assert variants["scheduler-only"]["ghost_laps"] == 0
+
+    # Full configuration reaches a healthy fraction of the random-access
+    # peak on the undirected graphs (paper: up to 88%).
+    best = max(v["full"]["normalized_to_peak"] for v in by_graph.values())
+    assert best > 0.5, best

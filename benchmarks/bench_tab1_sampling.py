@@ -1,0 +1,15 @@
+"""Table I — supported sampling algorithms and RP entry configurations."""
+
+from conftest import run_once
+
+from repro.bench.experiments import tab1_sampling_support
+
+
+def test_tab1_sampling_support(benchmark, record_result):
+    result = record_result(run_once(benchmark, tab1_sampling_support))
+
+    for row in result.rows:
+        assert row["sampler"] == row["expected_sampler"], row
+        assert row["rp_entry_bits"] == row["expected_bits"], row
+    # All four Table I sampler families are covered.
+    assert set(result.column("sampler")) == {"uniform", "alias", "rejection", "reservoir"}

@@ -1,0 +1,25 @@
+"""Table III — average URW throughput across four FPGA platforms.
+
+Paper shape: throughput ranks U55C > U50 >> U250 > VCK5000, tracking
+each platform's random-access channel capability, with bandwidth
+utilization high (81-88%) everywhere.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import tab3_devices
+
+
+def test_tab3_urw_across_devices(benchmark, record_result):
+    result = record_result(run_once(benchmark, tab3_devices))
+
+    rows = {row["device"]: row for row in result.rows}
+    # HBM platforms crush the DDR4 platforms.
+    assert rows["U55C"]["avg_msteps"] > 3 * rows["U250"]["avg_msteps"]
+    assert rows["U50"]["avg_msteps"] > 3 * rows["VCK5000"]["avg_msteps"]
+    # U55C is the fastest stack, U50 second (Table III ordering).
+    assert rows["U55C"]["avg_msteps"] > rows["U50"]["avg_msteps"]
+    assert rows["U250"]["avg_msteps"] > rows["VCK5000"]["avg_msteps"]
+    # Utilization stays healthy on every platform (paper: 81-88%).
+    for device, row in rows.items():
+        assert row["avg_utilization"] > 0.4, (device, row["avg_utilization"])

@@ -1,0 +1,27 @@
+"""Table IV — resource utilization and frequency per GRW kernel (U55C)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import tab4_resources
+
+
+def test_tab4_resource_model(benchmark, record_result):
+    result = record_result(run_once(benchmark, tab4_resources))
+
+    rows = {row["kernel"]: row for row in result.rows}
+    # Model within 6 percentage points of the paper on every cell.
+    for kernel, row in rows.items():
+        for model_key, paper_key in (
+            ("luts_pct", "paper_luts"),
+            ("regs_pct", "paper_regs"),
+            ("brams_pct", "paper_brams"),
+            ("dsps_pct", "paper_dsps"),
+        ):
+            assert abs(row[model_key] - row[paper_key]) < 6.0, (kernel, model_key, row)
+    # Table IV's ordering: Node2Vec is the heaviest kernel in LUTs,
+    # DeepWalk the heaviest in BRAM, URW the lightest overall.
+    assert rows["Node2Vec"]["luts_pct"] == max(r["luts_pct"] for r in rows.values())
+    assert rows["DeepWalk"]["brams_pct"] == max(r["brams_pct"] for r in rows.values())
+    assert rows["URW"]["luts_pct"] == min(r["luts_pct"] for r in rows.values())
+    # Every kernel closes at 320 MHz.
+    assert all(row["frequency_mhz"] == 320.0 for row in rows.values())

@@ -1,0 +1,115 @@
+"""Common machinery for the baseline accelerator models.
+
+Every baseline the paper compares against is closed-source (FastRW,
+Su et al.) or hardware we do not have (LightRW bitstreams, gSampler on
+H100).  Each model here is a *behavioral performance model*: walk
+semantics come from the shared reference engine (so the statistics are
+exactly right), and timing comes from a round-based cost model
+parameterized by the device and the architectural property the paper
+identifies as that system's bottleneck (cache collapse, static batch
+bubbles, blocking pointer chase, warp lockstep divergence).
+
+All models emit :class:`~repro.sim.stats.RunMetrics`, so benchmark
+harnesses treat them interchangeably with the cycle-level RidgeWalker
+simulator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sim.stats import RunMetrics
+from repro.walks.base import Query, WalkSpec
+from repro.walks.reference import EngineStats, run_walks
+
+
+class BaselineModel(ABC):
+    """A modeled GRW system producing RunMetrics for a workload."""
+
+    #: Display name used in benchmark tables.
+    name: str = "baseline"
+
+    @abstractmethod
+    def run(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        queries: Sequence[Query],
+        seed: int = 0,
+    ) -> RunMetrics:
+        """Execute the workload under this model."""
+
+
+class WorkloadTrace:
+    """Reference-engine trace shared by the cost models.
+
+    Captures exactly what the round-based models need: per-query walk
+    lengths (divergence and bubbles), totals of sampling work (scans,
+    proposals) and the per-step memory demand.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        queries: Sequence[Query],
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.num_queries = len(queries)
+        stats = EngineStats()
+        self.results = run_walks(graph, spec, queries, seed=seed, stats=stats)
+        self.stats = stats
+        self.lengths = np.asarray(stats.per_query_hops, dtype=np.int64)
+        self.total_steps = int(self.lengths.sum())
+
+    def alive_per_round(self, max_rounds: int | None = None) -> np.ndarray:
+        """Number of still-walking queries at the start of each round.
+
+        Round ``r`` counts queries whose length exceeds ``r`` — the warp
+        lockstep and batch-slot occupancy signal.
+        """
+        horizon = int(self.lengths.max()) if self.lengths.size else 0
+        if max_rounds is not None:
+            horizon = min(horizon, max_rounds)
+        return np.array(
+            [int((self.lengths > r).sum()) for r in range(horizon)], dtype=np.int64
+        )
+
+    def mean_scan_words_per_step(self) -> float:
+        """Average neighbor-list words a step needs the sampler to read."""
+        if self.total_steps == 0:
+            return 1.0
+        return max(1.0, self.stats.neighbor_reads / self.total_steps)
+
+    def mean_proposals_per_step(self) -> float:
+        """Average sampling proposals per step (rejection retries)."""
+        if self.total_steps == 0:
+            return 1.0
+        return max(1.0, self.stats.sampling_proposals / self.total_steps)
+
+    def visit_probability(self) -> np.ndarray:
+        """Empirical per-vertex visit distribution (cache-model input)."""
+        counts = self.results.visit_counts(self.graph.num_vertices).astype(np.float64)
+        total = counts.sum()
+        return counts / total if total else counts
+
+
+def rng_words_per_step(spec: WalkSpec) -> int:
+    """64-bit random words one step of this algorithm consumes.
+
+    Alias sampling needs two uniforms, rejection needs two per proposal;
+    uniform sampling needs one.  (Used to price FastRW's CPU-pregenerated
+    RNG stream, which travels through DRAM.)
+    """
+    sampler = spec.make_sampler()
+    if sampler.name == "alias":
+        return 2
+    if sampler.name == "rejection":
+        return 2
+    return 1

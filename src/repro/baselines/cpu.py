@@ -1,0 +1,66 @@
+"""A ThunderRW-style in-memory CPU walker model.
+
+Not part of the paper's headline comparisons (its CPU numbers come from
+prior work), but useful as a sanity anchor in examples and as the
+slowest rung of the system ladder.  The model: ``threads`` software
+walkers, each step paying one dependent DRAM random access partially
+hidden by interleaving (ThunderRW's step-interleaving achieves a few
+overlapping accesses per core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.base import BaselineModel, WorkloadTrace
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.sim.stats import RunMetrics
+from repro.walks.base import Query, WalkSpec
+
+
+@dataclass(frozen=True)
+class CPUModel(BaselineModel):
+    """Cost model for a ThunderRW-like CPU engine (EPYC-class server)."""
+
+    threads: int = 128
+    dram_latency_ns: float = 90.0
+    #: Overlapped accesses per thread from software interleaving.
+    interleave_depth: int = 2
+    #: Aggregate random-access ceiling of the socket (transactions/s) —
+    #: a few hundred million 64-bit row-miss transactions per second is
+    #: what a dual-socket EPYC sustains under full pointer-chase load.
+    tx_rate_per_s: float = 5.0e8
+
+    name = "ThunderRW-CPU"
+
+    def run(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        queries: Sequence[Query],
+        seed: int = 0,
+    ) -> RunMetrics:
+        if not queries:
+            raise SimulationError("CPU model needs at least one query")
+        trace = WorkloadTrace(graph, spec, queries, seed=seed)
+        # Two dependent accesses per step, hidden interleave_depth-way.
+        per_thread_steps_per_s = self.interleave_depth / (
+            2.0 * self.dram_latency_ns * 1e-9
+        )
+        chase_bound = per_thread_steps_per_s * self.threads
+        bandwidth_bound = self.tx_rate_per_s / 2.0
+        rate = min(chase_bound, bandwidth_bound)
+        seconds = trace.total_steps / rate if trace.total_steps else 1e-9
+        clock_mhz = 2000.0
+        cycles = max(1, int(round(seconds * clock_mhz * 1e6)))
+        return RunMetrics(
+            total_steps=trace.total_steps,
+            cycles=cycles,
+            core_mhz=clock_mhz,
+            random_transactions=2 * trace.total_steps,
+            words_transferred=2 * trace.total_steps,
+            peak_random_tx_per_cycle=self.tx_rate_per_s / (clock_mhz * 1e6),
+            extra={"model": self.name},
+        )

@@ -1,0 +1,119 @@
+"""LightRW behavioral model (Tan et al., SIGMOD'23) — Figures 8c/8d baseline.
+
+LightRW is the strongest prior FPGA design: a deeply pipelined dataflow
+accelerator for Node2Vec/MetaPath with weighted reservoir sampling.  Its
+one structural weakness — the one RidgeWalker's scheduler removes — is
+**static batched scheduling**: queries are batched in a ring buffer and
+every step is issued in a predetermined slot order, so when a walk
+terminates early its reserved slots stay empty until the whole batch
+drains ("bubble ratios up to 37%", Section III-B).
+
+Model: per batch, per lockstep round, every *slot* (dead or alive) costs
+one issue cycle; live slots additionally pay the reservoir scan of their
+current neighbor list and the memory transactions.  Because the dataflow
+is deeply pipelined, memory latency is overlapped (no chase term) — the
+bound is issue slots, scan work, or bandwidth, whichever is largest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.base import BaselineModel, WorkloadTrace
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.memory.spec import DDR4_U250, MemorySpec
+from repro.sim.stats import RunMetrics
+from repro.walks.base import Query, WalkSpec
+
+
+@dataclass(frozen=True)
+class LightRWModel(BaselineModel):
+    """Cost model for LightRW on a DDR4 FPGA (U250)."""
+
+    memory: MemorySpec = DDR4_U250
+    core_mhz: float = 300.0
+    #: U250 has 4 DDR4 channels; LightRW instantiates one deeply
+    #: pipelined walker group per two channels.
+    num_pipelines: int = 2
+    batch_size: int = 512
+    #: Neighbor words the reservoir scanner consumes per cycle per
+    #: pipeline — one 512-bit AXI beat (8 x 64-bit) per cycle, the same
+    #: datapath width the RidgeWalker sampler model uses.
+    scan_words_per_cycle: float = 8.0
+    #: Scan tiling cap (one 512B tile), matching the simulator's cap so
+    #: hub vertices price identically on both systems.
+    scan_tile_words: int = 64
+
+    name = "LightRW"
+
+    def run(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        queries: Sequence[Query],
+        seed: int = 0,
+    ) -> RunMetrics:
+        if not queries:
+            raise SimulationError("LightRW model needs at least one query")
+        trace = WorkloadTrace(graph, spec, queries, seed=seed)
+        scan_words = min(trace.mean_scan_words_per_step(), float(self.scan_tile_words))
+
+        tx_per_cycle = (
+            self.memory.channel_tx_per_core_cycle(self.core_mhz)
+            * self.memory.num_channels
+        )
+        seq_words_per_cycle = (
+            self.memory.sequential_gbs * 1e9 / 8 / (self.core_mhz * 1e6)
+        )
+
+        total_cycles = 0.0
+        total_tx = 0
+        total_words = 0
+        bubble_slots = 0
+        live_slots = 0
+        lengths = trace.lengths
+        for batch_start in range(0, len(lengths), self.batch_size):
+            batch = lengths[batch_start : batch_start + self.batch_size]
+            slots = int(batch.size)
+            for r in range(int(batch.max()) if batch.size else 0):
+                alive = int((batch > r).sum())
+                if alive == 0:
+                    break
+                # Every slot, dead or alive, occupies its issue position:
+                # that is the static-order bubble.
+                issue_cycles = slots / self.num_pipelines
+                scan_cycles = (
+                    alive * scan_words / (self.scan_words_per_cycle * self.num_pipelines)
+                )
+                random_tx = alive * 2  # RP entry + first CL tile per step
+                seq_word_count = alive * scan_words
+                bandwidth_cycles = random_tx / tx_per_cycle + (
+                    seq_word_count / seq_words_per_cycle
+                )
+                total_cycles += max(issue_cycles, scan_cycles, bandwidth_cycles)
+                total_tx += random_tx
+                total_words += int(round(random_tx + seq_word_count))
+                bubble_slots += slots - alive
+                live_slots += alive
+        total_cycles = max(1.0, total_cycles)
+
+        return RunMetrics(
+            total_steps=trace.total_steps,
+            cycles=int(round(total_cycles)),
+            core_mhz=self.core_mhz,
+            random_transactions=total_tx,
+            words_transferred=total_words,
+            peak_random_tx_per_cycle=tx_per_cycle,
+            bubble_cycles=bubble_slots,
+            pipeline_cycles=bubble_slots + live_slots,
+            extra={
+                "model": self.name,
+                "bubble_ratio_slots": (
+                    bubble_slots / (bubble_slots + live_slots)
+                    if bubble_slots + live_slots
+                    else 0.0
+                ),
+            },
+        )

@@ -1,0 +1,77 @@
+"""Su et al. behavioral model (FPL'21) — the Figure 8b baseline.
+
+Su et al. built the first HBM-enabled FPGA random walker: a pool of
+independent sequential walkers per memory channel.  Each walker executes
+Algorithm II.1 literally — read row pointer, sample, read column entry —
+with the next access issued only after the previous returns.  Latency is
+hidden only by the walker pool's width, not by decoupled issue, so
+throughput per pipeline is ``pool / (2 * round_trip)`` steps per cycle;
+RidgeWalker's async engine beats it by keeping two orders of magnitude
+more requests in flight (the 9.2x / 9.9x of Figure 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.base import BaselineModel, WorkloadTrace
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.memory.spec import HBM2_U280, MemorySpec
+from repro.sim.stats import RunMetrics
+from repro.walks.base import Query, WalkSpec
+
+
+@dataclass(frozen=True)
+class SuModel(BaselineModel):
+    """Cost model for Su et al.'s HBM random walker (U280)."""
+
+    memory: MemorySpec = HBM2_U280
+    core_mhz: float = 250.0
+    num_pipelines: int = 16
+    #: Interleaved sequential walkers per pipeline.  Calibrated so the
+    #: model lands at the ~200 MStep/s the paper's 9.2-9.9x speedups
+    #: imply for Su et al.'s WG runs.
+    walker_pool: int = 10
+
+    name = "Su et al."
+
+    def run(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        queries: Sequence[Query],
+        seed: int = 0,
+    ) -> RunMetrics:
+        if not queries:
+            raise SimulationError("Su model needs at least one query")
+        trace = WorkloadTrace(graph, spec, queries, seed=seed)
+
+        round_trip = self.memory.round_trip_cycles
+        # Each step chains two dependent accesses; a pool of W walkers
+        # overlaps W such chains per pipeline.
+        steps_per_cycle_per_pipeline = self.walker_pool / (2.0 * round_trip)
+        tx_per_cycle = (
+            self.memory.channel_tx_per_core_cycle(self.core_mhz)
+            * self.memory.num_channels
+        )
+        chase_bound = steps_per_cycle_per_pipeline * self.num_pipelines
+        bandwidth_bound = tx_per_cycle / 2.0  # two transactions per step
+        steps_per_cycle = min(chase_bound, bandwidth_bound)
+
+        cycles = max(1, int(round(trace.total_steps / steps_per_cycle)))
+        total_tx = 2 * trace.total_steps
+        return RunMetrics(
+            total_steps=trace.total_steps,
+            cycles=cycles,
+            core_mhz=self.core_mhz,
+            random_transactions=total_tx,
+            words_transferred=total_tx,
+            peak_random_tx_per_cycle=tx_per_cycle,
+            extra={
+                "model": self.name,
+                "chase_bound_steps_per_cycle": chase_bound,
+                "bandwidth_bound_steps_per_cycle": bandwidth_bound,
+            },
+        )

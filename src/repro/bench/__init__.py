@@ -1,0 +1,43 @@
+"""Benchmark harness: experiment registry, workloads, reporting."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    FIG9_BANDS,
+    FIG10_CONFIGS,
+    FIG11_VARIANTS,
+    TABLE1_ROWS,
+)
+from repro.bench.reporting import ExperimentResult, geometric_mean, speedup
+from repro.bench.workloads import (
+    MEASURE_CYCLES,
+    NUM_QUERIES,
+    WALK_LENGTH,
+    WARMUP_CYCLES,
+    Workload,
+    fast_mode,
+    make_rmat_workload,
+    make_spec,
+    make_workload,
+    run_ridgewalker_streaming,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "FIG10_CONFIGS",
+    "FIG11_VARIANTS",
+    "FIG9_BANDS",
+    "MEASURE_CYCLES",
+    "NUM_QUERIES",
+    "TABLE1_ROWS",
+    "WALK_LENGTH",
+    "WARMUP_CYCLES",
+    "Workload",
+    "fast_mode",
+    "geometric_mean",
+    "make_rmat_workload",
+    "make_spec",
+    "make_workload",
+    "run_ridgewalker_streaming",
+    "speedup",
+]

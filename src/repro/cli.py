@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the workflows a downstream user reaches for first:
+
+* ``walk`` — run a GRW workload on the simulated accelerator and print
+  throughput/utilization (optionally from a graph file);
+* ``experiment`` — regenerate one of the paper's tables/figures by id
+  (the same registry the benchmark suite uses);
+* ``info`` — list datasets, algorithms, devices and experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.workloads import make_spec
+from repro.core import RidgeWalker, RidgeWalkerConfig
+from repro.errors import ReproError
+from repro.graph import dataset_names, load_dataset, load_edge_list, load_npz
+from repro.graph.datasets import assign_metapath_schema
+from repro.resources import DEVICE_CATALOG, get_device
+from repro.sim import UtilizationTracer, render_dashboard
+from repro.walks import make_queries
+
+ALGORITHMS = ("URW", "PPR", "DeepWalk", "Node2Vec", "Node2Vec-reservoir", "MetaPath")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RidgeWalker reproduction: graph random walks on a "
+        "cycle-level FPGA accelerator simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    walk = sub.add_parser("walk", help="run a GRW workload on the accelerator")
+    walk.add_argument("--algorithm", choices=ALGORITHMS, default="URW")
+    walk.add_argument(
+        "--dataset", default="WG",
+        help=f"Table II dataset ({', '.join(dataset_names())}) or a path to "
+        "a .npz / edge-list graph file",
+    )
+    walk.add_argument("--device", choices=sorted(DEVICE_CATALOG), default="U55C")
+    walk.add_argument("--pipelines", type=int, default=None,
+                      help="asynchronous pipelines (default: device maximum)")
+    walk.add_argument("--queries", type=int, default=512)
+    walk.add_argument("--length", type=int, default=80)
+    walk.add_argument("--seed", type=int, default=1)
+    walk.add_argument("--scale", type=float, default=1.0,
+                      help="dataset scale multiplier")
+    walk.add_argument("--streaming", action="store_true",
+                      help="measure steady-state throughput (paper methodology) "
+                      "instead of running the batch to completion")
+    walk.add_argument("--trace", action="store_true",
+                      help="print per-pipeline utilization timelines "
+                      "(streaming mode only)")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS),
+                            help="table/figure id (see DESIGN.md index)")
+
+    sub.add_parser("info", help="list datasets, algorithms, devices, experiments")
+    return parser
+
+
+def _load_graph(args) -> object:
+    weighted = args.algorithm in ("DeepWalk", "Node2Vec-reservoir", "MetaPath")
+    if args.dataset in dataset_names():
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                             weighted=weighted)
+    elif args.dataset.endswith(".npz"):
+        graph = load_npz(args.dataset)
+    else:
+        graph = load_edge_list(args.dataset)
+    if args.algorithm == "MetaPath" and not graph.has_edge_types:
+        graph = assign_metapath_schema(graph, num_types=3, seed=args.seed)
+    return graph
+
+
+def cmd_walk(args) -> int:
+    graph = _load_graph(args)
+    device = get_device(args.device)
+    pipelines = args.pipelines or device.max_pipelines
+    spec = make_spec(args.algorithm)
+    spec.max_length = args.length
+    config = RidgeWalkerConfig(num_pipelines=pipelines, memory=device.memory)
+    queries = make_queries(graph, args.queries, seed=args.seed + 1)
+    engine = RidgeWalker(graph, spec, config, seed=args.seed + 2)
+
+    print(f"graph: {graph}")
+    print(f"device: {device.name} ({device.memory.name}, {pipelines} pipelines)")
+    print(f"workload: {args.algorithm}, {args.queries} queries, length {args.length}")
+
+    if args.streaming:
+        tracer = UtilizationTracer(window=128) if args.trace else None
+        metrics = engine.run_streaming(queries, tracer=tracer)
+        print(f"\nsteady state: {metrics.msteps_per_second():.1f} MStep/s, "
+              f"{metrics.effective_bandwidth_gbs():.2f} GB/s "
+              f"({metrics.bandwidth_utilization() * 100:.0f}% of Eq.(1) peak), "
+              f"bubbles {metrics.bubble_ratio() * 100:.1f}%")
+        if tracer is not None:
+            print("\nper-window activity (sampling stages) and scheduler FIFO fill:")
+            print(render_dashboard(tracer))
+    else:
+        run = engine.run(queries)
+        print(f"\n{run.metrics.summary()}")
+        lengths = run.results.lengths()
+        print(f"walk lengths: mean {lengths.mean():.1f}, min {lengths.min()}, "
+              f"max {lengths.max()}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    result = EXPERIMENTS[args.id]()
+    print(result.to_table())
+    return 0
+
+
+def cmd_info(args) -> int:
+    print("datasets:   ", ", ".join(dataset_names()))
+    print("algorithms: ", ", ".join(ALGORITHMS))
+    print("devices:    ", ", ".join(sorted(DEVICE_CATALOG)))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"walk": cmd_walk, "experiment": cmd_experiment, "info": cmd_info}
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Alias-table construction (Walker's method) for O(1) weighted sampling.
+
+DeepWalk on weighted graphs uses alias sampling (paper Table I): each
+vertex's neighbor list carries an alias table so a neighbor can be drawn
+with two random numbers and one table lookup.  The paper extends the CSR
+row-pointer entry to 256 bits to store the alias-table pointer and size;
+our memory layout mirrors that (see :mod:`repro.memory.layout`).
+
+The tables here are built with Vose's stable O(d) algorithm per vertex and
+stored flat, aligned with the CSR column list, so the simulated hardware
+can fetch ``(prob, alias)`` with the same address arithmetic it uses for
+the neighbor itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError, SamplingError
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True, eq=False)
+class AliasTable:
+    """Flat alias tables for every vertex of a graph.
+
+    Attributes
+    ----------
+    prob:
+        ``float64`` array aligned with the CSR column list.  ``prob[RP[v]+i]``
+        is the acceptance probability of slot ``i`` in vertex ``v``'s table.
+    alias:
+        ``int64`` array aligned the same way; ``alias[RP[v]+i]`` is the
+        *within-neighborhood* index used when slot ``i`` rejects.
+    """
+
+    prob: np.ndarray
+    alias: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.prob.shape != self.alias.shape:
+            raise GraphError("prob and alias must align")
+        self.prob.setflags(write=False)
+        self.alias.setflags(write=False)
+
+    def slot(self, offset: int, index: int) -> tuple[float, int]:
+        """Return ``(prob, alias)`` for table slot ``index`` of the
+        neighborhood starting at CSR offset ``offset``."""
+        return float(self.prob[offset + index]), int(self.alias[offset + index])
+
+    def sample_index(self, offset: int, degree: int, u1: float, u2: float) -> int:
+        """Draw a within-neighborhood index using two uniforms in [0, 1).
+
+        This is the exact operation the hardware Sampling module performs:
+        ``u1`` picks the slot, ``u2`` accepts or redirects to the alias.
+        """
+        if degree <= 0:
+            raise SamplingError("cannot alias-sample from an empty neighborhood")
+        slot = min(int(u1 * degree), degree - 1)
+        prob, alias = self.slot(offset, slot)
+        return slot if u2 < prob else alias
+
+    @property
+    def num_slots(self) -> int:
+        """Total number of table slots (== number of edges)."""
+        return self.prob.size
+
+    def table_bytes(self, entry_bits: int = 64) -> int:
+        """Memory footprint of the flat tables at the given entry width."""
+        return self.num_slots * entry_bits // 8
+
+
+def build_alias_slots(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build one alias table for a single weight vector (Vose's algorithm).
+
+    Returns ``(prob, alias)`` arrays of the same length as ``weights``.
+    Raises :class:`SamplingError` for empty or non-positive weights.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.size
+    if n == 0:
+        raise SamplingError("cannot build an alias table for an empty weight vector")
+    if np.any(weights <= 0) or not np.all(np.isfinite(weights)):
+        raise SamplingError("alias table weights must be positive and finite")
+
+    scaled = weights * (n / weights.sum())
+    prob = np.ones(n, dtype=np.float64)
+    alias = np.arange(n, dtype=np.int64)
+
+    small = [i for i in range(n) if scaled[i] < 1.0]
+    large = [i for i in range(n) if scaled[i] >= 1.0]
+    scaled = scaled.copy()
+    while small and large:
+        lo = small.pop()
+        hi = large.pop()
+        prob[lo] = scaled[lo]
+        alias[lo] = hi
+        scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0
+        if scaled[hi] < 1.0:
+            small.append(hi)
+        else:
+            large.append(hi)
+    # Whatever remains is numerically ~1.0.
+    for rest in small + large:
+        prob[rest] = 1.0
+        alias[rest] = rest
+    return prob, alias
+
+
+def build_alias_table(graph: CSRGraph) -> AliasTable:
+    """Build flat per-vertex alias tables for a graph.
+
+    Unweighted graphs get uniform tables (every slot accepts), which keeps
+    the DeepWalk datapath identical for both cases, exactly as the
+    hardware's template-based graph representation does.
+    """
+    prob = np.ones(graph.num_edges, dtype=np.float64)
+    alias = np.zeros(graph.num_edges, dtype=np.int64)
+    for v in range(graph.num_vertices):
+        lo = int(graph.row_ptr[v])
+        hi = int(graph.row_ptr[v + 1])
+        degree = hi - lo
+        if degree == 0:
+            continue
+        if graph.is_weighted:
+            p, a = build_alias_slots(graph.weights[lo:hi])
+        else:
+            p = np.ones(degree, dtype=np.float64)
+            a = np.arange(degree, dtype=np.int64)
+        prob[lo:hi] = p
+        alias[lo:hi] = a
+    return AliasTable(prob=prob, alias=alias)
+
+
+def alias_expected_distribution(graph: CSRGraph, vertex: int) -> np.ndarray:
+    """The exact neighbor distribution an alias table should realize.
+
+    Used by tests to verify statistical correctness of alias sampling.
+    """
+    weights = graph.neighbor_weights(vertex)
+    if weights.size == 0:
+        raise SamplingError(f"vertex {vertex} has no neighbors")
+    return weights / weights.sum()

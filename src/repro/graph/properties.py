@@ -1,0 +1,189 @@
+"""Structural graph statistics used by the evaluation harness.
+
+These back Table II (dataset catalog: |V|, |E|, size, diameter) and the
+motivation analysis (degree skew and dangling fraction drive workload
+imbalance; working-set size relative to on-chip SRAM drives the FastRW
+cache collapse in Figure 3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of a graph's out-degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    std: float
+    gini: float
+    dangling_fraction: float
+
+    def is_skewed(self, threshold: float = 0.5) -> bool:
+        """Whether the distribution is heavy-tailed by Gini coefficient."""
+        return self.gini >= threshold
+
+
+def degree_statistics(graph: CSRGraph) -> DegreeStatistics:
+    """Compute out-degree summary statistics."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        raise GraphError("cannot summarize an empty graph")
+    return DegreeStatistics(
+        minimum=int(degrees.min()),
+        maximum=int(degrees.max()),
+        mean=float(degrees.mean()),
+        median=float(np.median(degrees)),
+        std=float(degrees.std()),
+        gini=gini_coefficient(degrees),
+        dangling_fraction=graph.dangling_fraction(),
+    )
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative array (0 = uniform, 1 = skewed)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    n = values.size
+    if n == 0:
+        raise GraphError("gini coefficient of an empty array is undefined")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (ranks * values).sum() / (n * total)) - (n + 1) / n)
+
+
+def estimate_diameter(graph: CSRGraph, num_sources: int = 8, seed: int = 0) -> int:
+    """Lower-bound estimate of the diameter via BFS from sampled sources.
+
+    Exact diameters are infeasible for the larger synthetic graphs; a
+    multi-source BFS sweep gives the same "diameter class" signal Table II
+    communicates (tens of hops for social/web graphs, ~100+ for crawl
+    graphs with long tendrils).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise GraphError("cannot estimate the diameter of an empty graph")
+    rng = np.random.default_rng(seed)
+    # Prefer sources with outgoing edges so BFS actually explores.
+    candidates = np.nonzero(graph.degrees() > 0)[0]
+    if candidates.size == 0:
+        return 0
+    sources = rng.choice(candidates, size=min(num_sources, candidates.size), replace=False)
+    best = 0
+    for source in sources:
+        best = max(best, _bfs_eccentricity(graph, int(source)))
+    return best
+
+
+def _bfs_eccentricity(graph: CSRGraph, source: int) -> int:
+    """Largest finite BFS distance from ``source``."""
+    n = graph.num_vertices
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    depth = 0
+    row_ptr, col = graph.row_ptr, graph.col
+    while frontier:
+        next_frontier: list[int] = []
+        for v in frontier:
+            for u in col[row_ptr[v] : row_ptr[v + 1]]:
+                u = int(u)
+                if dist[u] < 0:
+                    dist[u] = depth + 1
+                    next_frontier.append(u)
+        frontier = next_frontier
+        depth += 1
+    return int(dist.max())
+
+
+def largest_out_component_fraction(graph: CSRGraph, seed: int = 0) -> float:
+    """Fraction of vertices reachable from the highest-out-degree vertex.
+
+    A cheap connectivity proxy: random-walk workloads mostly live inside
+    the giant component, so datasets are generated to keep this high.
+    """
+    if graph.num_vertices == 0:
+        raise GraphError("empty graph")
+    start = int(np.argmax(graph.degrees()))
+    n = graph.num_vertices
+    seen = np.zeros(n, dtype=bool)
+    seen[start] = True
+    stack = [start]
+    row_ptr, col = graph.row_ptr, graph.col
+    while stack:
+        v = stack.pop()
+        for u in col[row_ptr[v] : row_ptr[v + 1]]:
+            u = int(u)
+            if not seen[u]:
+                seen[u] = True
+                stack.append(u)
+    return float(seen.sum()) / n
+
+
+def working_set_bytes(graph: CSRGraph, rp_entry_bits: int = 64) -> int:
+    """Bytes of row-pointer state a cache-based accelerator must hold.
+
+    FastRW's collapse threshold (Figure 3a) is whether this fits in the
+    device's on-chip SRAM.
+    """
+    return graph.row_pointer_bytes(rp_entry_bits)
+
+
+def degree_histogram(graph: CSRGraph, in_degree: bool = False) -> np.ndarray:
+    """Counts of vertices per degree value (index = degree)."""
+    if in_degree:
+        degrees = np.bincount(graph.col, minlength=graph.num_vertices)
+    else:
+        degrees = graph.degrees()
+    if degrees.size == 0:
+        raise GraphError("cannot histogram an empty graph")
+    return np.bincount(degrees)
+
+
+def degree_ccdf(graph: CSRGraph, in_degree: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF of the degree distribution.
+
+    Returns ``(degrees, P(D >= degree))`` over the degrees present; the
+    standard view for eyeballing power-law tails.
+    """
+    histogram = degree_histogram(graph, in_degree=in_degree)
+    degrees = np.nonzero(histogram)[0]
+    counts = histogram[degrees].astype(np.float64)
+    total = counts.sum()
+    ccdf = np.cumsum(counts[::-1])[::-1] / total
+    return degrees, ccdf
+
+
+def fit_powerlaw_exponent(
+    graph: CSRGraph, in_degree: bool = True, minimum_degree: int = 2
+) -> float:
+    """Maximum-likelihood (Hill) estimate of the degree tail exponent.
+
+    ``alpha = 1 + n / sum(ln(d_i / (d_min - 1/2)))`` over degrees
+    ``>= minimum_degree`` (Clauset-Shalizi-Newman's discrete
+    approximation).  Used by tests to confirm the synthetic Table II
+    stand-ins carry the heavy tail the catalog promises.
+    """
+    if minimum_degree < 1:
+        raise GraphError(f"minimum_degree must be >= 1, got {minimum_degree}")
+    if in_degree:
+        degrees = np.bincount(graph.col, minlength=graph.num_vertices)
+    else:
+        degrees = np.asarray(graph.degrees())
+    tail = degrees[degrees >= minimum_degree].astype(np.float64)
+    if tail.size < 10:
+        raise GraphError(
+            f"only {tail.size} vertices have degree >= {minimum_degree}; "
+            "not enough tail to fit"
+        )
+    return float(1.0 + tail.size / np.log(tail / (minimum_degree - 0.5)).sum())

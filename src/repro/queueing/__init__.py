@@ -1,0 +1,26 @@
+"""Queueing theory: M/M/1[N] analytics and Theorem VI.1 validation."""
+
+from repro.queueing.buffering import (
+    feedback_delay_cycles,
+    is_zero_bubble_depth,
+    minimum_depth_per_pipeline,
+    minimum_total_depth,
+)
+from repro.queueing.mm1n import BulkServiceQueue, zero_bubble_condition
+from repro.queueing.validation import (
+    DelayedFeedbackResult,
+    depth_sweep,
+    simulate_delayed_feedback,
+)
+
+__all__ = [
+    "BulkServiceQueue",
+    "DelayedFeedbackResult",
+    "depth_sweep",
+    "feedback_delay_cycles",
+    "is_zero_bubble_depth",
+    "minimum_depth_per_pipeline",
+    "minimum_total_depth",
+    "simulate_delayed_feedback",
+    "zero_bubble_condition",
+]

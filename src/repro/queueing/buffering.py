@@ -1,0 +1,53 @@
+"""Theorem VI.1 — minimum buffer depth under delayed feedback.
+
+The scheduler observes pipeline availability through FIFO backpressure
+with up to ``C`` cycles of delay; under that delay, a queue of depth at
+least ``D = N + mu * C * N`` between scheduler and pipelines guarantees
+that a backlogged system never starves a pipeline (Lu et al. [44],
+as applied in Section VI-B).
+
+For RidgeWalker's butterfly fabric ``C = 4 * log2(N)`` (two fully
+pipelined 2-cycle units per stage, each way), giving the per-pipeline
+depth ``1 + 4*log2(N)`` used in Section VI-D.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SchedulerError
+
+
+def feedback_delay_cycles(num_pipelines: int) -> int:
+    """C — the scheduler-to-pipeline round-trip observation delay.
+
+    ``2*log2(N)`` through the balancer plus the return trip
+    (Section VI-D: "the total scheduling latency is at most 4 log N").
+    """
+    if num_pipelines < 1:
+        raise SchedulerError("num_pipelines must be >= 1")
+    if num_pipelines == 1:
+        return 2
+    return 4 * math.ceil(math.log2(num_pipelines))
+
+
+def minimum_total_depth(num_pipelines: int, mu: float = 1.0, delay: int | None = None) -> int:
+    """Theorem VI.1: ``D = N + mu * C * N`` total buffered tasks."""
+    if mu <= 0:
+        raise SchedulerError("mu must be positive")
+    if num_pipelines < 1:
+        raise SchedulerError("num_pipelines must be >= 1")
+    c = feedback_delay_cycles(num_pipelines) if delay is None else delay
+    if c < 0:
+        raise SchedulerError("delay must be non-negative")
+    return int(math.ceil(num_pipelines + mu * c * num_pipelines))
+
+
+def minimum_depth_per_pipeline(num_pipelines: int, mu: float = 1.0) -> int:
+    """Per-pipeline FIFO depth: ``1 + 4*log2(N)`` for ``mu = 1``."""
+    return minimum_total_depth(num_pipelines, mu=mu) // num_pipelines
+
+
+def is_zero_bubble_depth(depth_per_pipeline: int, num_pipelines: int, mu: float = 1.0) -> bool:
+    """Whether a given per-pipeline depth meets the theorem's bound."""
+    return depth_per_pipeline >= minimum_depth_per_pipeline(num_pipelines, mu=mu)

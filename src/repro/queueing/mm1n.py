@@ -1,0 +1,85 @@
+"""Bulk-service queue analytics — the M/M/1[N] model of Section VI-A.
+
+The scheduler is modeled as a single server that can dispatch up to ``N``
+tasks per decision epoch (one per pipeline): tasks arrive Poisson(lambda),
+service is exponential(mu) per pipeline, the batch size is at most N.
+These analytics give the stability condition and utilization targets the
+zero-bubble design reasons about; the companion module
+(:mod:`repro.queueing.validation`) checks the buffer-depth consequence
+(Theorem VI.1) against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class BulkServiceQueue:
+    """An M/M/1[N] bulk-service queue.
+
+    Parameters
+    ----------
+    arrival_rate:
+        lambda — task arrivals per cycle.
+    service_rate:
+        mu — tasks one pipeline completes per cycle (1 for II=1).
+    batch_size:
+        N — pipelines served per epoch.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise SchedulerError("arrival_rate must be positive")
+        if self.service_rate <= 0:
+            raise SchedulerError("service_rate must be positive")
+        if self.batch_size < 1:
+            raise SchedulerError("batch_size must be >= 1")
+
+    @property
+    def offered_load(self) -> float:
+        """rho = lambda / (N * mu); the system is stable iff rho < 1."""
+        return self.arrival_rate / (self.batch_size * self.service_rate)
+
+    def is_stable(self) -> bool:
+        """Whether queues stay bounded."""
+        return self.offered_load < 1.0
+
+    def utilization(self) -> float:
+        """Long-run fraction of pipeline capacity in use (= rho, capped)."""
+        return min(1.0, self.offered_load)
+
+    def idle_pipelines(self) -> float:
+        """Expected pipelines idle per epoch without extra buffering.
+
+        With nothing buffered, an epoch can only serve what arrived:
+        ``N - min(N, lambda/mu)`` pipelines go idle on average — the
+        bubbles Theorem VI.1's buffer eliminates when backlogged.
+        """
+        served = min(float(self.batch_size), self.arrival_rate / self.service_rate)
+        return self.batch_size - served
+
+    def throughput(self) -> float:
+        """Departure rate: lambda when stable, capacity otherwise."""
+        if self.is_stable():
+            return self.arrival_rate
+        return self.batch_size * self.service_rate
+
+
+def zero_bubble_condition(
+    arrival_rate: float, service_rate: float, batch_size: int, backlog: int
+) -> bool:
+    """Whether a backlogged system can keep all pipelines busy.
+
+    A backlog of at least N tasks guarantees a full batch each epoch, so
+    the scheduler never idles a pipeline for lack of work; this is the
+    "whenever the system is backlogged" premise of Section VI-B.
+    """
+    queue = BulkServiceQueue(arrival_rate, service_rate, batch_size)
+    return backlog >= queue.batch_size

@@ -1,0 +1,39 @@
+"""FPGA device catalog and analytical resource model (Tables III/IV)."""
+
+from repro.resources.devices import (
+    ALVEO_U250,
+    ALVEO_U280,
+    ALVEO_U50,
+    ALVEO_U55C,
+    DEVICE_CATALOG,
+    VCK5000,
+    DeviceSpec,
+    get_device,
+)
+from repro.resources.model import (
+    KERNEL_FREQUENCY_MHZ,
+    SCHEDULER_STANDALONE_MHZ,
+    ResourceVector,
+    estimate_kernel,
+    scheduler_resources,
+    scheduler_units,
+    table4_row,
+)
+
+__all__ = [
+    "ALVEO_U250",
+    "ALVEO_U280",
+    "ALVEO_U50",
+    "ALVEO_U55C",
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "KERNEL_FREQUENCY_MHZ",
+    "ResourceVector",
+    "SCHEDULER_STANDALONE_MHZ",
+    "VCK5000",
+    "estimate_kernel",
+    "get_device",
+    "scheduler_resources",
+    "scheduler_units",
+    "table4_row",
+]

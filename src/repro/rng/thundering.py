@@ -1,0 +1,131 @@
+"""ThundeRiNG-style multi-stream random number generation.
+
+RidgeWalker pairs every sampling module with ThundeRiNG (Tan et al.,
+ICS'21), an FPGA generator that produces many *mutually independent*
+streams from one shared core.  The construction simulated here follows
+that paper's recipe:
+
+1. a single shared **MCG/LCG root** sequence advanced once per cycle
+   (cheap: one multiplier on the FPGA, one shared state);
+2. a per-stream **decorrelator**: each stream adds a distinct odd
+   increment to the shared state, which yields distinct LCG sequences of
+   the same multiplier (Lehmer-style stream splitting);
+3. a per-stream **xorshift output scrambler** that breaks the linear
+   lattice structure the LCG family shares.
+
+The result is one 64-bit uniform per stream per ``tick()``, matching the
+hardware's one-sample-per-cycle-per-pipeline rate, with no per-stream
+multiplier (that is ThundeRiNG's resource win — captured in
+:mod:`repro.resources.model`).
+
+This avoids FastRW's design of pre-generating random numbers on the CPU
+and streaming them through HBM, which the paper shows steals graph
+bandwidth (Figure 8a discussion).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SamplingError
+from repro.rng.xorshift import SplitMix64, XorShift128
+
+_MASK64 = (1 << 64) - 1
+
+# Knuth's MMIX LCG multiplier; one shared multiplier serves all streams.
+_LCG_MULTIPLIER = 6364136223846793005
+_LCG_INCREMENT = 1442695040888963407
+
+
+class ThunderRing:
+    """A bank of decorrelated uniform random streams.
+
+    Parameters
+    ----------
+    num_streams:
+        Number of independent streams (one per sampling module in the
+        accelerator).
+    seed:
+        Root seed; every derived quantity is deterministic in it.
+    """
+
+    def __init__(self, num_streams: int, seed: int = 0) -> None:
+        if num_streams < 1:
+            raise SamplingError(f"num_streams must be >= 1, got {num_streams}")
+        self._num_streams = num_streams
+        mixer = SplitMix64(seed)
+        self._root_state = mixer.next_u64()
+        # Distinct odd increments decorrelate the streams (step 2).
+        self._increments = [(mixer.next_u64() | 1) for _ in range(num_streams)]
+        # Per-stream xorshift scramblers (step 3).
+        self._scramblers = [XorShift128.from_seed(mixer.next_u64()) for _ in range(num_streams)]
+
+    @property
+    def num_streams(self) -> int:
+        """Number of independent streams."""
+        return self._num_streams
+
+    def tick(self) -> None:
+        """Advance the shared root state by one cycle."""
+        self._root_state = (self._root_state * _LCG_MULTIPLIER + _LCG_INCREMENT) & _MASK64
+
+    def next_u64(self, stream: int) -> int:
+        """Next 64-bit uniform from ``stream`` (also advances the root).
+
+        Hardware draws all streams each cycle; in simulation a stream is
+        usually consumed on demand, so each draw advances the shared root
+        once — the per-stream sequences remain decorrelated either way.
+        """
+        self._check_stream(stream)
+        self.tick()
+        mixed = (self._root_state + self._increments[stream]) & _MASK64
+        return mixed ^ self._scramblers[stream].next_u64()
+
+    def uniform(self, stream: int) -> float:
+        """Uniform float in ``[0, 1)`` from ``stream``."""
+        return (self.next_u64(stream) >> 11) * (1.0 / (1 << 53))
+
+    def uniform_pair(self, stream: int) -> tuple[float, float]:
+        """Two uniforms, as alias sampling consumes per draw."""
+        return self.uniform(stream), self.uniform(stream)
+
+    def randint(self, stream: int, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via 64-bit rejection.
+
+        Rejection keeps the distribution exactly uniform, matching the
+        hardware's modulo-free sampling datapath.
+        """
+        if bound <= 0:
+            raise SamplingError(f"bound must be positive, got {bound}")
+        # Zone rejection: accept draws below the largest multiple of bound.
+        zone = (1 << 64) - ((1 << 64) % bound)
+        while True:
+            draw = self.next_u64(stream)
+            if draw < zone:
+                return draw % bound
+
+    def _check_stream(self, stream: int) -> None:
+        if not 0 <= stream < self._num_streams:
+            raise SamplingError(
+                f"stream {stream} out of range for {self._num_streams} streams"
+            )
+
+
+def stream_correlation(ring: ThunderRing, stream_a: int, stream_b: int, samples: int = 4096) -> float:
+    """Empirical Pearson correlation between two streams' uniforms.
+
+    Used by tests to check decorrelation: well-separated streams should
+    show |r| within a few sigma of zero (sigma ~ 1/sqrt(samples)).
+    """
+    xs = []
+    ys = []
+    for _ in range(samples):
+        xs.append(ring.uniform(stream_a))
+        ys.append(ring.uniform(stream_b))
+    n = float(samples)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs) / n
+    var_y = sum((y - mean_y) ** 2 for y in ys) / n
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5

@@ -1,0 +1,30 @@
+"""Sampling substrate: the Table I sampling algorithms behind one protocol."""
+
+from repro.sampling.alias_sampler import AliasSampler
+from repro.sampling.base import (
+    NumpyRandomSource,
+    RandomSource,
+    RingRandomSource,
+    SampleOutcome,
+    Sampler,
+    StepContext,
+)
+from repro.sampling.its import InverseTransformSampler, exact_distribution
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.uniform import UniformSampler
+
+__all__ = [
+    "AliasSampler",
+    "InverseTransformSampler",
+    "NumpyRandomSource",
+    "RandomSource",
+    "RejectionSampler",
+    "ReservoirSampler",
+    "RingRandomSource",
+    "SampleOutcome",
+    "Sampler",
+    "StepContext",
+    "UniformSampler",
+    "exact_distribution",
+]

@@ -1,0 +1,142 @@
+"""Sampler protocol shared by all GRW sampling algorithms (Table I).
+
+A sampler answers one question: *given the current vertex's neighbor list,
+which within-neighborhood index does the walk take?*  That is exactly the
+job of the hardware Sampling module sitting between Row Access and Column
+Access; keeping the software contract identical lets the cycle simulator
+and the pure-software reference engine share sampler implementations.
+
+Outcomes carry cost counters (memory reads of the neighbor list, proposal
+attempts) because different samplers stress the memory system differently:
+uniform/alias sampling touch O(1) entries per hop while reservoir and
+inverse-transform sampling scan the whole list — the effect behind the
+paper's Node2Vec observations in Figure 9d.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.graph.csr import CSRGraph
+from repro.rng.thundering import ThunderRing
+
+
+class RandomSource(Protocol):
+    """Uniform randomness interface consumed by samplers."""
+
+    def uniform(self) -> float:
+        """Uniform float in [0, 1)."""
+
+    def randint(self, bound: int) -> int:
+        """Uniform integer in [0, bound)."""
+
+
+class NumpyRandomSource:
+    """Adapter over ``numpy.random.Generator`` (reference engine)."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def uniform(self) -> float:
+        return float(self._rng.random())
+
+    def randint(self, bound: int) -> int:
+        if bound <= 0:
+            raise SamplingError(f"bound must be positive, got {bound}")
+        return int(self._rng.integers(0, bound))
+
+
+class RingRandomSource:
+    """Adapter over one :class:`~repro.rng.thundering.ThunderRing` stream
+    (simulated hardware)."""
+
+    def __init__(self, ring: ThunderRing, stream: int) -> None:
+        self._ring = ring
+        self._stream = stream
+
+    def uniform(self) -> float:
+        return self._ring.uniform(self._stream)
+
+    def randint(self, bound: int) -> int:
+        return self._ring.randint(self._stream, bound)
+
+
+@dataclass(frozen=True)
+class SampleOutcome:
+    """Result of one sampling decision.
+
+    Attributes
+    ----------
+    index:
+        Chosen within-neighborhood index, or ``None`` when no admissible
+        neighbor exists (MetaPath type mismatch) — the walk terminates.
+    proposals:
+        Number of candidate draws (rejection sampling retries count here).
+    neighbor_reads:
+        Neighbor-list entries the sampler had to *fetch* to decide; this
+        feeds the memory cost model (O(1) for uniform/alias, O(d) for
+        reservoir / inverse transform / rejection adjacency checks).
+    """
+
+    index: int | None
+    proposals: int = 1
+    neighbor_reads: int = 0
+
+    @property
+    def terminated(self) -> bool:
+        """Whether the walk must end because nothing was admissible."""
+        return self.index is None
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Everything a sampler may consult for one hop.
+
+    ``prev_vertex`` is populated for second-order walks (Node2Vec);
+    ``admissible_type`` for MetaPath-style edge-type constraints.
+    """
+
+    vertex: int
+    prev_vertex: int | None = None
+    admissible_type: int | None = None
+
+
+class Sampler(ABC):
+    """Base class for Table I sampling algorithms."""
+
+    #: Row-pointer entry width in bits this sampler needs (Table I).
+    rp_entry_bits: int = 64
+
+    #: Human-readable name used in reports.
+    name: str = "sampler"
+
+    @abstractmethod
+    def sample(
+        self,
+        graph: CSRGraph,
+        context: StepContext,
+        random_source: RandomSource,
+    ) -> SampleOutcome:
+        """Choose a neighbor index for the walk at ``context.vertex``.
+
+        Implementations must raise :class:`SamplingError` when called on a
+        vertex with zero out-degree; callers are expected to terminate
+        walks at dangling vertices before sampling.
+        """
+
+    def prepare(self, graph: CSRGraph) -> None:
+        """Hook for per-graph preprocessing (alias table construction)."""
+
+    def _require_degree(self, graph: CSRGraph, vertex: int) -> int:
+        degree = graph.degree(vertex)
+        if degree == 0:
+            raise SamplingError(
+                f"cannot sample a neighbor of dangling vertex {vertex}; "
+                "terminate the walk instead"
+            )
+        return degree

@@ -1,0 +1,47 @@
+"""Inverse-transform sampling — the textbook weighted baseline.
+
+Not in Table I's accelerator configurations, but used by CPU engines
+(ThunderRW offers it) and by our test suite as an independent oracle for
+the weighted samplers: alias and reservoir sampling must converge to the
+same neighbor distribution ITS realizes by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sampling.base import RandomSource, SampleOutcome, Sampler, StepContext
+
+
+class InverseTransformSampler(Sampler):
+    """Weighted sampling by prefix-sum CDF scan (O(d) per draw)."""
+
+    rp_entry_bits = 64
+    name = "inverse-transform"
+
+    def sample(
+        self,
+        graph: CSRGraph,
+        context: StepContext,
+        random_source: RandomSource,
+    ) -> SampleOutcome:
+        degree = self._require_degree(graph, context.vertex)
+        weights = graph.neighbor_weights(context.vertex)
+        total = float(weights.sum())
+        target = random_source.uniform() * total
+        cumulative = 0.0
+        reads = 0
+        for i in range(degree):
+            reads += 1
+            cumulative += float(weights[i])
+            if target < cumulative:
+                return SampleOutcome(index=i, proposals=1, neighbor_reads=reads)
+        # Floating point round-off can leave target == total; take the last.
+        return SampleOutcome(index=degree - 1, proposals=1, neighbor_reads=reads)
+
+
+def exact_distribution(graph: CSRGraph, vertex: int) -> np.ndarray:
+    """The neighbor distribution ITS realizes (weights normalized)."""
+    weights = graph.neighbor_weights(vertex)
+    return weights / weights.sum()

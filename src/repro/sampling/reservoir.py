@@ -1,0 +1,90 @@
+"""Weighted reservoir sampling (Node2Vec weighted, MetaPath — Table I).
+
+LightRW and RidgeWalker both use single-pass weighted reservoir sampling
+(the exponential-keys / A-ES scheme: keep the item maximizing
+``u**(1/w)``) for walks whose per-neighbor weights are only known on the
+fly — Node2Vec biases composed with edge weights, and MetaPath's
+edge-type admissibility filter.  One pass over the neighbor list, O(d)
+reads, no preprocessing; the RP entry is 128 bits (pointer + degree +
+session metadata).
+
+When *no* neighbor is admissible (MetaPath with a type nobody matches),
+the outcome reports termination — the early-termination irregularity the
+zero-bubble scheduler exists to absorb (Figure 8d).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SamplingError
+from repro.graph.csr import CSRGraph
+from repro.sampling.base import RandomSource, SampleOutcome, Sampler, StepContext
+
+
+class ReservoirSampler(Sampler):
+    """Single-pass weighted sampling with optional Node2Vec bias and
+    edge-type filtering."""
+
+    rp_entry_bits = 128
+    name = "reservoir"
+
+    def __init__(self, p: float | None = None, q: float | None = None) -> None:
+        if (p is None) != (q is None):
+            raise SamplingError("p and q must be given together or not at all")
+        if p is not None and (p <= 0 or q <= 0):
+            raise SamplingError(f"node2vec parameters must be positive, got p={p}, q={q}")
+        self.p = p
+        self.q = q
+
+    @property
+    def second_order(self) -> bool:
+        """Whether Node2Vec biases are applied."""
+        return self.p is not None
+
+    def _bias(self, graph: CSRGraph, prev_vertex: int | None, candidate: int) -> float:
+        if not self.second_order or prev_vertex is None:
+            return 1.0
+        if candidate == prev_vertex:
+            return 1.0 / self.p
+        if graph.has_edge(prev_vertex, candidate):
+            return 1.0
+        return 1.0 / self.q
+
+    def sample(
+        self,
+        graph: CSRGraph,
+        context: StepContext,
+        random_source: RandomSource,
+    ) -> SampleOutcome:
+        degree = self._require_degree(graph, context.vertex)
+        neighbors = graph.neighbors(context.vertex)
+        weights = graph.neighbor_weights(context.vertex)
+        edge_types = (
+            graph.neighbor_edge_types(context.vertex) if graph.has_edge_types else None
+        )
+        best_key = -1.0
+        best_index: int | None = None
+        reads = 0
+        for i in range(degree):
+            reads += 1
+            if context.admissible_type is not None:
+                if edge_types is None:
+                    raise SamplingError(
+                        "admissible_type given but the graph has no edge types"
+                    )
+                if int(edge_types[i]) != context.admissible_type:
+                    continue
+            weight = float(weights[i]) * self._bias(
+                graph, context.prev_vertex, int(neighbors[i])
+            )
+            if weight <= 0:
+                continue
+            u = random_source.uniform()
+            # Guard u == 0: key would be 0 for every weight; nudge to the
+            # smallest positive double instead so ordering stays correct.
+            if u == 0.0:
+                u = 5e-324
+            key = u ** (1.0 / weight)
+            if key > best_key:
+                best_key = key
+                best_index = i
+        return SampleOutcome(index=best_index, proposals=1, neighbor_reads=reads)

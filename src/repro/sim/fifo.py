@@ -1,0 +1,121 @@
+"""Registered stream FIFOs with backpressure.
+
+Modules in the simulated accelerator communicate exclusively through
+these FIFOs, mirroring the paper's "shallow FIFOs within the AXI-Stream
+protocol, enabling backpressure-based flow control" (Section IV-B).
+
+Semantics are *registered* (two-phase): items pushed during cycle ``t``
+become visible to consumers at cycle ``t + 1``, when the simulation
+kernel commits all staged writes.  This makes module evaluation order
+within a cycle irrelevant — exactly like flip-flop-separated hardware —
+and is what lets the kernel call modules in any fixed order without
+combinational races.
+
+``is_full`` reflects the registered occupancy plus already-staged pushes,
+the same conservatively-registered full flag a hardware FIFO exports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generic, TypeVar
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+
+class StreamFifo(Generic[T]):
+    """Bounded FIFO with registered push visibility.
+
+    The paper's Dispatcher/Merger algorithms are written against exactly
+    this interface: ``is_full`` / ``is_empty`` status flags plus
+    non-blocking reads and writes.
+    """
+
+    def __init__(self, capacity: int, name: str = "fifo") -> None:
+        if capacity < 1:
+            raise SimulationError(f"fifo capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._queue: deque[T] = deque()
+        self._staged: list[T] = []
+        self._pops_this_cycle = 0
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def is_full(self) -> bool:
+        """Registered full flag (committed occupancy + staged pushes)."""
+        return len(self._queue) + len(self._staged) >= self.capacity
+
+    def push(self, item: T) -> None:
+        """Stage a push; visible to consumers next cycle."""
+        if self.is_full():
+            raise SimulationError(f"push into full fifo {self.name!r}")
+        self._staged.append(item)
+        self.total_pushed += 1
+
+    def try_push(self, item: T) -> bool:
+        """Push if space; returns whether the push happened."""
+        if self.is_full():
+            return False
+        self.push(item)
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """Whether no committed item is available this cycle."""
+        return len(self._queue) - self._pops_this_cycle == 0
+
+    def front(self) -> T:
+        """Peek the oldest committed item."""
+        if self.is_empty():
+            raise SimulationError(f"front of empty fifo {self.name!r}")
+        return self._queue[self._pops_this_cycle]
+
+    def pop(self) -> T:
+        """Consume the oldest committed item (removed at commit)."""
+        item = self.front()
+        self._pops_this_cycle += 1
+        self.total_popped += 1
+        return item
+
+    def try_pop(self) -> T | None:
+        """Pop if available; ``None`` otherwise (non-blocking read)."""
+        if self.is_empty():
+            return None
+        return self.pop()
+
+    # ------------------------------------------------------------------
+    # Kernel side
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """End-of-cycle: apply pops, make staged pushes visible."""
+        for _ in range(self._pops_this_cycle):
+            self._queue.popleft()
+        self._pops_this_cycle = 0
+        if self._staged:
+            self._queue.extend(self._staged)
+            self._staged.clear()
+        if len(self._queue) > self.peak_occupancy:
+            self.peak_occupancy = len(self._queue)
+
+    def occupancy(self) -> int:
+        """Committed items currently held (before this cycle's pops)."""
+        return len(self._queue)
+
+    def in_flight(self) -> int:
+        """Committed plus staged items — work the fifo is responsible for."""
+        return len(self._queue) + len(self._staged) - self._pops_this_cycle
+
+    def __len__(self) -> int:
+        return self.occupancy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamFifo({self.name!r}, {self.occupancy()}/{self.capacity})"

@@ -1,0 +1,101 @@
+"""Run-level performance accounting shared by all simulated engines.
+
+Every engine (RidgeWalker, ablations, FPGA baselines) reports the same
+:class:`RunMetrics`, so benchmark harnesses can compute the paper's
+figures — MStep/s throughput, bandwidth utilization against Equation (1),
+and bubble ratios — without knowing which engine produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class RunMetrics:
+    """Outcome of one simulated GRW run.
+
+    Attributes
+    ----------
+    total_steps:
+        Traversed hops summed over all queries (the paper's "total count
+        of visited vertices" beyond starts).
+    cycles:
+        Core clock cycles the run took.
+    core_mhz:
+        Core clock used to convert cycles into time.
+    random_transactions:
+        Random memory transactions issued (row + column accesses).
+    words_transferred:
+        Total 64-bit words moved, bursts included.
+    peak_random_tx_per_cycle:
+        Aggregate channel issue capability per core cycle — denominator
+        of bandwidth utilization.
+    bubble_cycles / pipeline_cycles:
+        Summed starved cycles and total observed cycles over the compute
+        pipelines, for bubble-ratio reporting.
+    """
+
+    total_steps: int
+    cycles: int
+    core_mhz: float
+    random_transactions: int = 0
+    words_transferred: int = 0
+    peak_random_tx_per_cycle: float = 0.0
+    bubble_cycles: int = 0
+    pipeline_cycles: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise SimulationError(f"cycles must be positive, got {self.cycles}")
+        if self.core_mhz <= 0:
+            raise SimulationError("core_mhz must be positive")
+        if self.total_steps < 0:
+            raise SimulationError("total_steps must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Paper metrics
+    # ------------------------------------------------------------------
+    def seconds(self) -> float:
+        """Wall-clock duration of the run."""
+        return self.cycles / (self.core_mhz * 1e6)
+
+    def msteps_per_second(self) -> float:
+        """Throughput in millions of traversed steps per second —
+        the paper's primary performance metric (Section VIII-A4)."""
+        return self.total_steps / self.seconds() / 1e6
+
+    def effective_bandwidth_gbs(self) -> float:
+        """Achieved memory bandwidth (B_measured)."""
+        return self.words_transferred * 8 / self.seconds() / 1e9
+
+    def bandwidth_utilization(self) -> float:
+        """``B_measured / B_peak`` with B_peak from the provisioned
+        channels' random-transaction capability (Equation 1)."""
+        if self.peak_random_tx_per_cycle <= 0:
+            raise SimulationError("peak_random_tx_per_cycle not set")
+        peak_words_per_cycle = self.peak_random_tx_per_cycle
+        peak_gbs = peak_words_per_cycle * (self.core_mhz * 1e6) * 8 / 1e9
+        return self.effective_bandwidth_gbs() / peak_gbs
+
+    def bubble_ratio(self) -> float:
+        """Fraction of pipeline cycles lost to starvation."""
+        if self.pipeline_cycles == 0:
+            return 0.0
+        return self.bubble_cycles / self.pipeline_cycles
+
+    def steps_per_cycle(self) -> float:
+        """Aggregate steps retired per core cycle."""
+        return self.total_steps / self.cycles
+
+    def summary(self) -> str:
+        """One-line human-readable summary for harness logs."""
+        return (
+            f"{self.total_steps} steps in {self.cycles} cycles @ {self.core_mhz:.0f} MHz "
+            f"= {self.msteps_per_second():.1f} MStep/s, "
+            f"BW {self.effective_bandwidth_gbs():.2f} GB/s, "
+            f"bubbles {self.bubble_ratio() * 100:.1f}%"
+        )

@@ -1,0 +1,173 @@
+"""Walk specifications, queries and results.
+
+A :class:`WalkSpec` bundles everything that distinguishes one GRW
+algorithm from another — which sampler it uses, how walks terminate, and
+what per-step state a task must carry (Table I).  The same spec object
+drives the pure-software reference engine, every baseline model, and the
+cycle-level RidgeWalker simulator, which is what makes cross-checking
+their statistics meaningful.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WalkConfigError
+from repro.graph.csr import CSRGraph
+from repro.sampling.base import RandomSource, Sampler
+
+#: The paper's query length for all throughput experiments (Section VIII-A4).
+DEFAULT_MAX_LENGTH = 80
+
+
+@dataclass(frozen=True)
+class Query:
+    """One random-walk query: a start vertex plus a tracking id."""
+
+    query_id: int
+    start_vertex: int
+
+    def __post_init__(self) -> None:
+        if self.query_id < 0:
+            raise WalkConfigError(f"query_id must be non-negative, got {self.query_id}")
+        if self.start_vertex < 0:
+            raise WalkConfigError(
+                f"start_vertex must be non-negative, got {self.start_vertex}"
+            )
+
+
+class WalkSpec(ABC):
+    """Algorithm-specific behaviour of a GRW.
+
+    Subclasses define the sampler, the termination rule, and how much
+    walker state a decomposed task needs (``v_last`` only for first-order
+    walks; ``(v_last, v_prev)`` for second-order walks like Node2Vec —
+    the paper's task tuple notes exactly this distinction).
+    """
+
+    #: Display name used in benchmark tables.
+    name: str = "walk"
+
+    #: Maximum number of hops per query.
+    max_length: int = DEFAULT_MAX_LENGTH
+
+    #: Whether tasks must carry the previous vertex (second-order walks).
+    needs_prev_vertex: bool = False
+
+    def __init__(self, max_length: int = DEFAULT_MAX_LENGTH) -> None:
+        if max_length < 1:
+            raise WalkConfigError(f"max_length must be >= 1, got {max_length}")
+        self.max_length = max_length
+
+    @abstractmethod
+    def make_sampler(self) -> Sampler:
+        """Create a fresh sampler configured for this algorithm."""
+
+    def admissible_type(self, step: int) -> int | None:
+        """Edge-type constraint for hop ``step`` (MetaPath); ``None`` = any."""
+        return None
+
+    def terminates_probabilistically(
+        self, step: int, random_source: RandomSource
+    ) -> bool:
+        """Whether the walk ends after ``step`` by algorithmic choice
+        (PPR's teleport); the base implementation never does."""
+        return False
+
+    @property
+    def rp_entry_bits(self) -> int:
+        """Row-pointer entry width the accelerator configures (Table I)."""
+        return self.make_sampler().rp_entry_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(max_length={self.max_length})"
+
+
+@dataclass
+class WalkResults:
+    """Paths produced by a batch of queries, plus aggregate counters.
+
+    ``paths[i]`` is the vertex sequence of query ``i`` **including** the
+    start vertex.  ``total_steps`` counts traversed hops (visited vertices
+    beyond the start), the quantity the paper's MStep/s metric divides by
+    time.
+    """
+
+    paths: list[np.ndarray] = field(default_factory=list)
+    total_steps: int = 0
+
+    def add_path(self, path: Sequence[int]) -> None:
+        """Record one finished query path."""
+        array = np.asarray(path, dtype=np.int64)
+        self.paths.append(array)
+        self.total_steps += max(0, array.size - 1)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of completed queries."""
+        return len(self.paths)
+
+    def lengths(self) -> np.ndarray:
+        """Hop count of every query (excludes the start vertex)."""
+        return np.asarray([max(0, p.size - 1) for p in self.paths], dtype=np.int64)
+
+    def visit_counts(self, num_vertices: int, include_start: bool = True) -> np.ndarray:
+        """Histogram of vertex visits across all paths.
+
+        The statistical oracle for comparing engines: two correct engines
+        running the same spec must produce visit histograms that agree up
+        to sampling noise.
+        """
+        counts = np.zeros(num_vertices, dtype=np.int64)
+        for path in self.paths:
+            visited = path if include_start else path[1:]
+            counts += np.bincount(visited, minlength=num_vertices)
+        return counts
+
+    def transition_counts(self, num_vertices: int) -> np.ndarray:
+        """Dense matrix of observed ``src -> dst`` hop counts (small graphs
+        only; used by distribution tests)."""
+        counts = np.zeros((num_vertices, num_vertices), dtype=np.int64)
+        for path in self.paths:
+            for a, b in zip(path[:-1], path[1:]):
+                counts[int(a), int(b)] += 1
+        return counts
+
+    def path_of(self, query_id: int) -> np.ndarray:
+        """Path of the query recorded at position ``query_id``."""
+        return self.paths[query_id]
+
+
+def make_queries(
+    graph: CSRGraph,
+    count: int,
+    seed: int = 0,
+    start_vertices: Sequence[int] | None = None,
+    require_outgoing: bool = True,
+) -> list[Query]:
+    """Build a query batch with random (or given) start vertices.
+
+    ``require_outgoing`` skips dangling start vertices, matching the
+    paper's setup where every query performs at least one hop attempt.
+    """
+    if count < 1:
+        raise WalkConfigError(f"count must be >= 1, got {count}")
+    if start_vertices is not None:
+        if len(start_vertices) != count:
+            raise WalkConfigError(
+                f"start_vertices has {len(start_vertices)} entries, expected {count}"
+            )
+        return [Query(i, int(v)) for i, v in enumerate(start_vertices)]
+    rng = np.random.default_rng(seed)
+    if require_outgoing:
+        candidates = np.nonzero(graph.degrees() > 0)[0]
+        if candidates.size == 0:
+            raise WalkConfigError("graph has no vertex with outgoing edges")
+    else:
+        candidates = np.arange(graph.num_vertices)
+    starts = rng.choice(candidates, size=count, replace=True)
+    return [Query(i, int(v)) for i, v in enumerate(starts)]

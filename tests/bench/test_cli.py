@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import cycle_graph, save_edge_list, save_npz
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_walk_defaults(self):
+        args = build_parser().parse_args(["walk"])
+        assert args.algorithm == "URW"
+        assert args.dataset == "WG"
+        assert args.device == "U55C"
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "WG" in out and "URW" in out and "U55C" in out and "fig8a" in out
+
+    def test_walk_on_dataset(self, capsys):
+        code = main([
+            "walk", "--dataset", "WG", "--scale", "0.05", "--pipelines", "2",
+            "--queries", "24", "--length", "8", "--device", "U50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MStep/s" in out and "walk lengths" in out
+
+    def test_walk_streaming_with_trace(self, capsys):
+        code = main([
+            "walk", "--dataset", "AS", "--scale", "0.05", "--pipelines", "2",
+            "--queries", "48", "--length", "20", "--streaming", "--trace",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steady state" in out and "pipe0.sp" in out
+
+    def test_walk_on_graph_file(self, tmp_path, capsys):
+        path = tmp_path / "ring.npz"
+        save_npz(cycle_graph(64), path)
+        code = main([
+            "walk", "--dataset", str(path), "--pipelines", "2",
+            "--queries", "16", "--length", "10",
+        ])
+        assert code == 0
+        assert "MStep/s" in capsys.readouterr().out
+
+    def test_walk_on_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "ring.txt"
+        save_edge_list(cycle_graph(32), path)
+        code = main([
+            "walk", "--dataset", str(path), "--pipelines", "2",
+            "--queries", "8", "--length", "5",
+        ])
+        assert code == 0
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "reservoir" in out
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "missing.npz"
+        code = main(["walk", "--dataset", str(missing)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Unit tests for graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import from_adjacency, from_adjacency_dict, from_edges
+
+
+class TestFromEdges:
+    def test_simple(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        assert g.num_vertices == 3
+        assert set(g.edges()) == {(0, 1), (1, 2), (0, 2)}
+
+    def test_neighbor_lists_sorted(self):
+        g = from_edges([(0, 2), (0, 1), (0, 3)])
+        assert g.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_explicit_vertex_count_allows_isolated(self):
+        g = from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_vertex_count_too_small_rejected(self):
+        with pytest.raises(GraphError, match="exceeds num_vertices"):
+            from_edges([(0, 9)], num_vertices=5)
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            from_edges([(-1, 0)])
+
+    def test_empty_edges(self):
+        g = from_edges([], num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_undirected_mirrors_edges(self):
+        g = from_edges([(0, 1)], directed=False)
+        assert set(g.edges()) == {(0, 1), (1, 0)}
+
+    def test_undirected_mirrors_weights(self):
+        g = from_edges([(0, 1)], weights=[5.0], directed=False)
+        assert g.weights.tolist() == [5.0, 5.0]
+
+    def test_dedupe_keeps_one_copy(self):
+        g = from_edges([(0, 1), (0, 1), (0, 1)], dedupe=True)
+        assert g.num_edges == 1
+
+    def test_without_dedupe_parallel_edges_remain(self):
+        g = from_edges([(0, 1), (0, 1)])
+        assert g.num_edges == 2
+
+    def test_weights_preserved_under_sorting(self):
+        g = from_edges([(0, 2), (0, 1)], weights=[2.0, 1.0])
+        # after sorting neighbors ascending, weights must follow their edge
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbor_weights(0).tolist() == [1.0, 2.0]
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(GraphError, match="align"):
+            from_edges([(0, 1)], weights=[1.0, 2.0])
+
+    def test_edge_types_follow_edges(self):
+        g = from_edges([(0, 2), (0, 1)], edge_types=[7, 3])
+        assert g.neighbor_edge_types(0).tolist() == [3, 7]
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(GraphError, match="pairs"):
+            from_edges([(0, 1, 2)])
+
+
+class TestFromAdjacency:
+    def test_binary_matrix_is_unweighted(self):
+        m = np.array([[0, 1], [1, 0]])
+        g = from_adjacency(m)
+        assert not g.is_weighted
+        assert set(g.edges()) == {(0, 1), (1, 0)}
+
+    def test_valued_matrix_becomes_weighted(self):
+        m = np.array([[0.0, 2.5], [0.0, 0.0]])
+        g = from_adjacency(m)
+        assert g.is_weighted
+        assert g.neighbor_weights(0).tolist() == [2.5]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError, match="square"):
+            from_adjacency(np.zeros((2, 3)))
+
+
+class TestFromAdjacencyDict:
+    def test_round_trip(self):
+        g = from_adjacency_dict({0: [1, 2], 1: [], 2: [0]})
+        assert set(g.edges()) == {(0, 1), (0, 2), (2, 0)}
+
+    def test_infers_vertex_count_from_values(self):
+        g = from_adjacency_dict({0: [5]})
+        assert g.num_vertices == 6

@@ -1,0 +1,95 @@
+"""Unit tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    load_edge_list,
+    load_npz,
+    powerlaw,
+    save_edge_list,
+    save_npz,
+)
+from repro.graph.datasets import assign_metapath_schema
+
+
+class TestNpzRoundTrip:
+    def test_plain_graph(self, tmp_path):
+        g = powerlaw(num_vertices=50, num_edges=200, seed=1, name="roundtrip")
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded.name == "roundtrip"
+        assert np.array_equal(loaded.row_ptr, g.row_ptr)
+        assert np.array_equal(loaded.col, g.col)
+        assert loaded.weights is None
+
+    def test_weighted_typed_graph(self, tmp_path):
+        g = powerlaw(num_vertices=30, num_edges=100, seed=2)
+        g = g.with_weights(np.linspace(1, 2, g.num_edges))
+        g = assign_metapath_schema(g, num_types=3, seed=3)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert np.allclose(loaded.weights, g.weights)
+        assert np.array_equal(loaded.edge_types, g.edge_types)
+        assert np.array_equal(loaded.vertex_types, g.vertex_types)
+
+    def test_missing_file_raises_format_error(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_npz(tmp_path / "missing.npz")
+
+    def test_corrupt_file_raises_format_error(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+
+class TestEdgeListRoundTrip:
+    def test_unweighted(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == set(g.edges())
+
+    def test_weighted(self, tmp_path):
+        g = from_edges([(0, 1), (1, 0)], weights=[1.5, 2.5])
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.is_weighted
+        assert sorted(loaded.weights.tolist()) == [1.5, 2.5]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0\t1\n1\t2\n")
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == {(0, 1), (1, 2)}
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            load_edge_list(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_mixed_weighted_unweighted_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.0\n1 2\n")
+        with pytest.raises(GraphFormatError, match="mixed"):
+            load_edge_list(path)
+
+    def test_name_from_filename(self, tmp_path):
+        g = from_edges([(0, 1)])
+        path = tmp_path / "mygraph.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path).name == "mygraph"

@@ -1,0 +1,89 @@
+"""Unit tests for the ThundeRiNG-style multi-stream RNG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.rng import ThunderRing, stream_correlation
+
+
+class TestConstruction:
+    def test_requires_positive_streams(self):
+        with pytest.raises(SamplingError):
+            ThunderRing(num_streams=0)
+
+    def test_num_streams(self):
+        assert ThunderRing(num_streams=16).num_streams == 16
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = ThunderRing(4, seed=11)
+        b = ThunderRing(4, seed=11)
+        assert [a.next_u64(0) for _ in range(8)] == [b.next_u64(0) for _ in range(8)]
+
+    def test_different_seed_diverges(self):
+        a = ThunderRing(4, seed=11)
+        b = ThunderRing(4, seed=12)
+        assert [a.next_u64(0) for _ in range(4)] != [b.next_u64(0) for _ in range(4)]
+
+    def test_streams_differ(self):
+        ring = ThunderRing(4, seed=3)
+        s0 = [ring.uniform(0) for _ in range(16)]
+        ring2 = ThunderRing(4, seed=3)
+        s1 = [ring2.uniform(1) for _ in range(16)]
+        assert s0 != s1
+
+
+class TestStatistics:
+    def test_uniform_range(self):
+        ring = ThunderRing(2, seed=1)
+        assert all(0.0 <= ring.uniform(0) < 1.0 for _ in range(1000))
+
+    def test_uniform_moments(self):
+        ring = ThunderRing(1, seed=2)
+        draws = np.array([ring.uniform(0) for _ in range(20_000)])
+        assert abs(draws.mean() - 0.5) < 0.01
+        assert abs(draws.var() - 1 / 12) < 0.005
+
+    def test_streams_decorrelated(self):
+        ring = ThunderRing(8, seed=5)
+        r = stream_correlation(ring, 0, 7, samples=4096)
+        # |r| should be within ~5 sigma of zero (sigma ~ 1/sqrt(n))
+        assert abs(r) < 5 / np.sqrt(4096)
+
+    def test_adjacent_streams_decorrelated(self):
+        ring = ThunderRing(8, seed=6)
+        r = stream_correlation(ring, 3, 4, samples=4096)
+        assert abs(r) < 5 / np.sqrt(4096)
+
+
+class TestRandint:
+    def test_bounds(self):
+        ring = ThunderRing(1, seed=7)
+        draws = [ring.randint(0, 10) for _ in range(2000)]
+        assert min(draws) >= 0 and max(draws) < 10
+
+    def test_uniformity_chi_square(self):
+        ring = ThunderRing(1, seed=8)
+        counts = np.zeros(7)
+        n = 14_000
+        for _ in range(n):
+            counts[ring.randint(0, 7)] += 1
+        expected = n / 7
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 6 + 6 * np.sqrt(12)  # 6 dof, generous bound
+
+    def test_bound_one_always_zero(self):
+        ring = ThunderRing(1, seed=9)
+        assert all(ring.randint(0, 1) == 0 for _ in range(20))
+
+    def test_rejects_nonpositive_bound(self):
+        ring = ThunderRing(1, seed=10)
+        with pytest.raises(SamplingError):
+            ring.randint(0, 0)
+
+    def test_rejects_bad_stream(self):
+        ring = ThunderRing(2, seed=11)
+        with pytest.raises(SamplingError, match="stream"):
+            ring.next_u64(2)

@@ -1,0 +1,116 @@
+"""Unit tests for registered stream FIFOs."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import StreamFifo
+
+
+class TestRegisteredSemantics:
+    def test_push_invisible_until_commit(self):
+        f = StreamFifo(4)
+        f.push("a")
+        assert f.is_empty()
+        f.commit()
+        assert not f.is_empty()
+        assert f.front() == "a"
+
+    def test_pop_applied_at_commit(self):
+        f = StreamFifo(4)
+        f.push("a")
+        f.commit()
+        assert f.pop() == "a"
+        # occupancy drops only at commit
+        assert f.occupancy() == 1
+        f.commit()
+        assert f.occupancy() == 0
+
+    def test_fifo_order(self):
+        f = StreamFifo(8)
+        for x in range(5):
+            f.push(x)
+        f.commit()
+        out = [f.pop() for _ in range(3)]
+        f.commit()
+        out += [f.pop() for _ in range(2)]
+        f.commit()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_same_cycle_push_pop_different_items(self):
+        f = StreamFifo(4)
+        f.push("old")
+        f.commit()
+        # consumer pops the old item while producer pushes a new one
+        assert f.pop() == "old"
+        f.push("new")
+        f.commit()
+        assert f.pop() == "new"
+
+
+class TestCapacity:
+    def test_full_counts_staged(self):
+        f = StreamFifo(2)
+        f.push(1)
+        f.push(2)
+        assert f.is_full()
+        with pytest.raises(SimulationError, match="full"):
+            f.push(3)
+
+    def test_try_push(self):
+        f = StreamFifo(1)
+        assert f.try_push(1)
+        assert not f.try_push(2)
+
+    def test_full_is_registered_not_pop_aware(self):
+        # Popping this cycle does NOT free space this cycle (hardware
+        # full flags are registered).
+        f = StreamFifo(1)
+        f.push(1)
+        f.commit()
+        f.pop()
+        assert f.is_full()
+        f.commit()
+        assert not f.is_full()
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            StreamFifo(0)
+
+
+class TestConsumerSide:
+    def test_multiple_pops_per_cycle_supported(self):
+        f = StreamFifo(4)
+        for x in (1, 2, 3):
+            f.push(x)
+        f.commit()
+        assert f.pop() == 1
+        assert f.pop() == 2
+        assert f.try_pop() == 3
+        assert f.try_pop() is None
+
+    def test_front_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty"):
+            StreamFifo(2).front()
+
+    def test_in_flight_counts_staged_and_committed(self):
+        f = StreamFifo(4)
+        f.push(1)
+        assert f.in_flight() == 1
+        f.commit()
+        f.push(2)
+        assert f.in_flight() == 2
+        f.pop()
+        assert f.in_flight() == 1
+
+
+class TestAccounting:
+    def test_counters(self):
+        f = StreamFifo(4)
+        f.push(1)
+        f.push(2)
+        f.commit()
+        f.pop()
+        f.commit()
+        assert f.total_pushed == 2
+        assert f.total_popped == 1
+        assert f.peak_occupancy == 2

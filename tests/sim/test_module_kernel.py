@@ -1,0 +1,207 @@
+"""Unit tests for pipelined modules, the kernel, and run metrics."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import (
+    Module,
+    PipelinedModule,
+    RunMetrics,
+    SimulationKernel,
+    StreamFifo,
+)
+
+
+class Doubler(PipelinedModule):
+    def process(self, item, cycle):
+        return item * 2
+
+
+class DropOdd(PipelinedModule):
+    def process(self, item, cycle):
+        return item if item % 2 == 0 else None
+
+
+def pump(kernel, fifo, items):
+    for item in items:
+        fifo.push(item)
+    fifo.commit()
+    # fifo already registered with kernel; commit once manually to seed
+
+
+class TestPipelinedModule:
+    def run_through(self, module_cls, items, latency=1, cycles=50):
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(16, "src")
+        dst = kernel.make_fifo(16, "dst")
+        kernel.add_module(module_cls("m", src, dst, latency=latency))
+        for item in items:
+            src.push(item)
+        for _ in range(cycles):
+            kernel.step()
+        out = []
+        while not dst.is_empty():
+            out.append(dst.pop())
+        return out
+
+    def test_transform(self):
+        assert self.run_through(Doubler, [1, 2, 3]) == [2, 4, 6]
+
+    def test_filter_drops_but_counts(self):
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(16, "src")
+        dst = kernel.make_fifo(16, "dst")
+        mod = DropOdd("m", src, dst)
+        kernel.add_module(mod)
+        for item in (1, 2, 3, 4):
+            src.push(item)
+        for _ in range(20):
+            kernel.step()
+        assert mod.stats.items_processed == 4
+
+    def test_latency_is_respected(self):
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(4, "src")
+        dst = kernel.make_fifo(4, "dst")
+        kernel.add_module(Doubler("m", src, dst, latency=5))
+        src.push(7)
+        for cycle in range(5):
+            kernel.step()
+            assert dst.is_empty(), f"output too early at cycle {cycle}"
+        for _ in range(3):
+            kernel.step()
+        assert dst.pop() == 14
+
+    def test_ii_one_throughput(self):
+        # latency 3, II=1: N items take ~N + latency cycles, not 3N.
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(64, "src")
+        dst = kernel.make_fifo(64, "dst")
+        kernel.add_module(Doubler("m", src, dst, latency=3))
+        for i in range(20):
+            src.push(i)
+        cycles = 0
+        while dst.occupancy() < 20 and cycles < 100:
+            kernel.step()
+            cycles += 1
+        assert cycles < 20 + 3 + 5
+
+    def test_backpressure_blocks(self):
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(16, "src")
+        dst = kernel.make_fifo(1, "dst")  # tiny output
+        mod = Doubler("m", src, dst)
+        kernel.add_module(mod)
+        for i in range(8):
+            src.push(i)
+        for _ in range(20):
+            kernel.step()
+        assert mod.stats.blocked_cycles > 0
+        assert dst.occupancy() == 1
+
+    def test_starvation_counted(self):
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(4, "src")
+        dst = kernel.make_fifo(4, "dst")
+        mod = Doubler("m", src, dst)
+        kernel.add_module(mod)
+        for _ in range(10):
+            kernel.step()
+        assert mod.stats.starved_cycles == 10
+        assert mod.stats.bubble_ratio() == 1.0
+
+    def test_latency_validation(self):
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(4, "src")
+        dst = kernel.make_fifo(4, "dst")
+        with pytest.raises(SimulationError):
+            Doubler("m", src, dst, latency=0)
+
+
+class TestKernel:
+    def test_run_until_condition(self):
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(8, "src")
+        dst = kernel.make_fifo(8, "dst")
+        kernel.add_module(Doubler("m", src, dst))
+        for i in range(4):
+            src.push(i)
+        kernel.run_until(lambda: dst.occupancy() == 4, max_cycles=100)
+        assert kernel.cycle < 100
+
+    def test_cycle_budget_enforced(self):
+        kernel = SimulationKernel()
+        kernel.make_fifo(2, "unused")
+        with pytest.raises(SimulationError, match="exceeded"):
+            kernel.run_until(lambda: False, max_cycles=10)
+
+    def test_deadlock_detected(self):
+        # A module blocked forever on a full output with items waiting.
+        kernel = SimulationKernel()
+        src = kernel.make_fifo(8, "src")
+        dst = kernel.make_fifo(1, "dst")  # never drained
+        kernel.add_module(Doubler("m", src, dst))
+        for i in range(5):
+            src.push(i)
+        with pytest.raises(DeadlockError) as err:
+            kernel.run_until(lambda: False, max_cycles=100_000)
+        assert err.value.in_flight > 0
+
+    def test_elapsed_seconds(self):
+        kernel = SimulationKernel(core_mhz=320.0)
+        for _ in range(320):
+            kernel.step()
+        assert kernel.elapsed_seconds() == pytest.approx(1e-6)
+
+    def test_core_mhz_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationKernel(core_mhz=0)
+
+
+class TestRunMetrics:
+    def metrics(self, **kw):
+        defaults = dict(
+            total_steps=1000,
+            cycles=2000,
+            core_mhz=320.0,
+            random_transactions=2000,
+            words_transferred=2000,
+            peak_random_tx_per_cycle=2.0,
+            bubble_cycles=100,
+            pipeline_cycles=1000,
+        )
+        defaults.update(kw)
+        return RunMetrics(**defaults)
+
+    def test_msteps(self):
+        m = self.metrics()
+        # 1000 steps / (2000 / 320e6) s = 160 MStep/s
+        assert m.msteps_per_second() == pytest.approx(160.0)
+
+    def test_bandwidth(self):
+        m = self.metrics()
+        # 2000 words * 8B / 6.25us = 2.56 GB/s
+        assert m.effective_bandwidth_gbs() == pytest.approx(2.56)
+
+    def test_utilization(self):
+        m = self.metrics()
+        # peak = 2 words/cycle * 320e6 * 8B = 5.12 GB/s -> 50%
+        assert m.bandwidth_utilization() == pytest.approx(0.5)
+
+    def test_bubble_ratio(self):
+        assert self.metrics().bubble_ratio() == pytest.approx(0.1)
+
+    def test_steps_per_cycle(self):
+        assert self.metrics().steps_per_cycle() == pytest.approx(0.5)
+
+    def test_summary_contains_key_numbers(self):
+        text = self.metrics().summary()
+        assert "MStep/s" in text and "GB/s" in text
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            self.metrics(cycles=0)
+        with pytest.raises(SimulationError):
+            self.metrics(total_steps=-1)
+        with pytest.raises(SimulationError):
+            self.metrics(peak_random_tx_per_cycle=0).bandwidth_utilization()

@@ -1,0 +1,142 @@
+"""Unit tests for walk specs, queries and results containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkConfigError
+from repro.graph import cycle_graph, from_edges, star_graph
+from repro.walks import (
+    DeepWalkSpec,
+    MetaPathSpec,
+    Node2VecSpec,
+    PPRSpec,
+    Query,
+    URWSpec,
+    WalkResults,
+    make_queries,
+)
+
+
+class TestQuery:
+    def test_fields(self):
+        q = Query(3, 7)
+        assert q.query_id == 3 and q.start_vertex == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(WalkConfigError):
+            Query(-1, 0)
+        with pytest.raises(WalkConfigError):
+            Query(0, -1)
+
+
+class TestMakeQueries:
+    def test_count(self):
+        qs = make_queries(cycle_graph(5), 10, seed=1)
+        assert len(qs) == 10
+        assert [q.query_id for q in qs] == list(range(10))
+
+    def test_deterministic(self):
+        a = make_queries(cycle_graph(50), 20, seed=3)
+        b = make_queries(cycle_graph(50), 20, seed=3)
+        assert [q.start_vertex for q in a] == [q.start_vertex for q in b]
+
+    def test_avoids_dangling_starts(self):
+        g = star_graph(10)  # only vertex 0 has out-edges
+        qs = make_queries(g, 50, seed=2)
+        assert all(q.start_vertex == 0 for q in qs)
+
+    def test_explicit_starts(self):
+        qs = make_queries(cycle_graph(5), 3, start_vertices=[4, 2, 0])
+        assert [q.start_vertex for q in qs] == [4, 2, 0]
+
+    def test_explicit_starts_length_mismatch(self):
+        with pytest.raises(WalkConfigError, match="entries"):
+            make_queries(cycle_graph(5), 3, start_vertices=[1])
+
+    def test_no_outgoing_anywhere_rejected(self):
+        g = from_edges([], num_vertices=3)
+        with pytest.raises(WalkConfigError, match="outgoing"):
+            make_queries(g, 2)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(WalkConfigError):
+            make_queries(cycle_graph(4), 0)
+
+
+class TestWalkResults:
+    def test_add_and_count(self):
+        r = WalkResults()
+        r.add_path([0, 1, 2])
+        r.add_path([3])
+        assert r.num_queries == 2
+        assert r.total_steps == 2  # 2 hops + 0 hops
+        assert r.lengths().tolist() == [2, 0]
+
+    def test_visit_counts(self):
+        r = WalkResults()
+        r.add_path([0, 1, 1])
+        counts = r.visit_counts(num_vertices=3)
+        assert counts.tolist() == [1, 2, 0]
+
+    def test_visit_counts_exclude_start(self):
+        r = WalkResults()
+        r.add_path([0, 1])
+        counts = r.visit_counts(num_vertices=2, include_start=False)
+        assert counts.tolist() == [0, 1]
+
+    def test_transition_counts(self):
+        r = WalkResults()
+        r.add_path([0, 1, 0])
+        m = r.transition_counts(num_vertices=2)
+        assert m[0, 1] == 1 and m[1, 0] == 1
+
+    def test_path_of(self):
+        r = WalkResults()
+        r.add_path([5, 6])
+        assert r.path_of(0).tolist() == [5, 6]
+
+
+class TestSpecValidation:
+    def test_max_length_positive(self):
+        for spec_cls in (URWSpec, DeepWalkSpec):
+            with pytest.raises(WalkConfigError):
+                spec_cls(max_length=0)
+
+    def test_ppr_alpha_range(self):
+        with pytest.raises(WalkConfigError):
+            PPRSpec(alpha=0.0)
+        with pytest.raises(WalkConfigError):
+            PPRSpec(alpha=1.0)
+
+    def test_node2vec_strategy_validation(self):
+        with pytest.raises(WalkConfigError, match="strategy"):
+            Node2VecSpec(strategy="magic")
+        with pytest.raises(WalkConfigError):
+            Node2VecSpec(p=-1.0)
+
+    def test_metapath_pattern_validation(self):
+        with pytest.raises(WalkConfigError):
+            MetaPathSpec(pattern=[])
+        with pytest.raises(WalkConfigError):
+            MetaPathSpec(pattern=[0, -1])
+
+    def test_metapath_pattern_cycles(self):
+        spec = MetaPathSpec(pattern=[3, 1])
+        assert [spec.admissible_type(i) for i in range(5)] == [3, 1, 3, 1, 3]
+
+    def test_rp_entry_bits_match_table_one(self):
+        assert URWSpec().rp_entry_bits == 64
+        assert PPRSpec().rp_entry_bits == 64
+        assert DeepWalkSpec().rp_entry_bits == 256
+        assert Node2VecSpec(strategy="rejection").rp_entry_bits == 64
+        assert Node2VecSpec(strategy="reservoir").rp_entry_bits == 128
+        assert MetaPathSpec(pattern=[0]).rp_entry_bits == 128
+
+    def test_needs_prev_vertex(self):
+        assert Node2VecSpec().needs_prev_vertex
+        assert not URWSpec().needs_prev_vertex
+        assert not DeepWalkSpec().needs_prev_vertex
+
+    def test_ppr_expected_length(self):
+        spec = PPRSpec(alpha=0.5, max_length=1000)
+        assert spec.expected_length() == pytest.approx(2.0, abs=0.01)

@@ -1,0 +1,55 @@
+"""Unit tests for DeepWalk's corpus helpers (skip-gram windows)."""
+
+from repro.walks import WalkResults, cooccurrence_counts, skip_gram_pairs
+
+
+def results_with(*paths):
+    results = WalkResults()
+    for path in paths:
+        results.add_path(path)
+    return results
+
+
+class TestSkipGramPairs:
+    def test_window_one(self):
+        results = results_with([1, 2, 3])
+        pairs = set(skip_gram_pairs(results, window=1))
+        assert pairs == {(1, 2), (2, 1), (2, 3), (3, 2)}
+
+    def test_window_covers_both_sides(self):
+        results = results_with([0, 1, 2, 3])
+        pairs = list(skip_gram_pairs(results, window=2))
+        assert (0, 2) in pairs and (2, 0) in pairs
+        assert (0, 3) not in pairs  # outside the window
+
+    def test_no_self_pairs(self):
+        results = results_with([5, 5, 5])
+        # repeated vertices produce pairs between *positions*, and a
+        # position never pairs with itself
+        pairs = list(skip_gram_pairs(results, window=1))
+        assert len(pairs) == 4
+        assert all(a == 5 and b == 5 for a, b in pairs)
+
+    def test_single_vertex_path_yields_nothing(self):
+        assert list(skip_gram_pairs(results_with([7]), window=3)) == []
+
+    def test_multiple_paths_concatenate(self):
+        results = results_with([1, 2], [3, 4])
+        pairs = set(skip_gram_pairs(results, window=1))
+        assert pairs == {(1, 2), (2, 1), (3, 4), (4, 3)}
+        # no cross-path pairs
+        assert (2, 3) not in pairs
+
+
+class TestCooccurrenceCounts:
+    def test_counts_accumulate(self):
+        results = results_with([1, 2], [1, 2])
+        counts = cooccurrence_counts(results, window=1)
+        assert counts[(1, 2)] == 2
+        assert counts[(2, 1)] == 2
+
+    def test_symmetry(self):
+        results = results_with([0, 1, 2, 1, 0])
+        counts = cooccurrence_counts(results, window=2)
+        assert counts[(0, 1)] == counts[(1, 0)]
+        assert counts[(1, 2)] == counts[(2, 1)]
