@@ -1,20 +1,22 @@
-"""DeepWalk walk corpus for graph embeddings, generated on the accelerator.
+"""DeepWalk walk corpus for graph embeddings.
 
 The dominant GRW workload in graph learning (the paper's DeepWalk rows):
 fixed-length weighted walks whose sliding windows feed a skip-gram
-model.  This example generates the corpus on the simulated RidgeWalker,
-builds a co-occurrence PPMI matrix plus truncated-SVD embeddings (no ML
-framework needed), and sanity-checks that embedding similarity reflects
-graph proximity.
+model.  This example generates the corpus — by default on the vectorized
+batch engine, the high-throughput software path; ``--engine sim`` runs
+the cycle-level RidgeWalker model instead — then builds a co-occurrence
+PPMI matrix plus truncated-SVD embeddings (no ML framework needed), and
+sanity-checks that embedding similarity reflects graph proximity.
 
-Run:  python examples/deepwalk_embeddings.py
+Run:  python examples/deepwalk_embeddings.py [--engine {batch,reference,sim}]
 """
+
+import argparse
 
 import numpy as np
 
-from repro.core import RidgeWalker, RidgeWalkerConfig
+from common import ENGINE_CHOICES, run_with_engine
 from repro.graph import load_dataset
-from repro.memory.spec import HBM2_U55C
 from repro.walks import DeepWalkSpec, cooccurrence_counts, make_queries
 
 WINDOW = 4
@@ -46,17 +48,19 @@ def cosine(a: np.ndarray, b: np.ndarray) -> float:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=ENGINE_CHOICES, default="batch")
+    args = parser.parse_args()
+
     graph = load_dataset("WG", scale=0.08, seed=1, weighted=True)
     print(f"graph: {graph}")
 
     spec = DeepWalkSpec(max_length=40)
     queries = make_queries(graph, 600, seed=2)
-    config = RidgeWalkerConfig(num_pipelines=4, memory=HBM2_U55C)
-    run = RidgeWalker(graph, spec, config, seed=3).run(queries)
-    print(f"corpus: {run.results.num_queries} walks, {run.results.total_steps} hops")
-    print(f"accelerator: {run.metrics.summary()}")
+    results = run_with_engine(args.engine, graph, spec, queries, seed=3)
+    print(f"corpus: {results.num_queries} walks, {results.total_steps} hops")
 
-    counts = cooccurrence_counts(run.results, window=WINDOW)
+    counts = cooccurrence_counts(results, window=WINDOW)
     embeddings = ppmi_embeddings(counts, graph.num_vertices, DIMENSIONS)
     print(f"embeddings: {embeddings.shape[0]} vertices x {embeddings.shape[1]} dims")
 
@@ -65,7 +69,7 @@ def main() -> None:
     rng = np.random.default_rng(4)
     neighbor_sims = []
     random_sims = []
-    walked = {int(v) for path in run.results.paths for v in path}
+    walked = {int(v) for path in results.paths for v in path}
     candidates = [v for v in walked if graph.degree(v) > 0]
     for v in rng.choice(candidates, size=min(200, len(candidates)), replace=False):
         v = int(v)

@@ -1,21 +1,23 @@
-"""Personalized PageRank via Monte-Carlo walks on the accelerator.
+"""Personalized PageRank via Monte-Carlo walks.
 
 The use case from the paper's introduction: PPR powers recommendation
 and graph databases, and GRW sampling is its scalable estimator.  This
 example personalizes on one vertex of a citation-network stand-in, runs
-the walks on the simulated accelerator, and compares the Monte-Carlo
-estimate against an exact power-iteration solution of the same PPR
-system — demonstrating end-to-end statistical correctness, not just
-throughput.
+the walks — by default on the vectorized batch engine, the
+high-throughput serving path; ``--engine sim`` uses the cycle-level
+accelerator model — and compares the Monte-Carlo estimate against an
+exact power-iteration solution of the same PPR system, demonstrating
+end-to-end statistical correctness, not just throughput.
 
-Run:  python examples/ppr_ranking.py
+Run:  python examples/ppr_ranking.py [--engine {batch,reference,sim}]
 """
+
+import argparse
 
 import numpy as np
 
-from repro.core import RidgeWalker, RidgeWalkerConfig
+from common import ENGINE_CHOICES, run_with_engine
 from repro.graph import load_dataset
-from repro.memory.spec import HBM2_U55C
 from repro.walks import PPRSpec, Query, estimate_ppr
 
 ALPHA = 0.2
@@ -56,17 +58,19 @@ def exact_ppr(graph, source: int, alpha: float, iterations: int = 200) -> np.nda
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=ENGINE_CHOICES, default="batch")
+    args = parser.parse_args()
+
     graph = load_dataset("CP", scale=0.2, seed=1)
     source = int(np.argmax(graph.degrees()))  # personalize on a hub
     print(f"graph: {graph}; personalization vertex: {source}")
 
     spec = PPRSpec(alpha=ALPHA, max_length=200)
     queries = [Query(i, source) for i in range(NUM_WALKS)]
-    config = RidgeWalkerConfig(num_pipelines=4, memory=HBM2_U55C)
-    run = RidgeWalker(graph, spec, config, seed=7).run(queries)
-    print(f"accelerator: {run.metrics.summary()}")
+    results = run_with_engine(args.engine, graph, spec, queries, seed=7)
 
-    estimated = estimate_ppr(run.results, graph.num_vertices)
+    estimated = estimate_ppr(results, graph.num_vertices)
     exact = exact_ppr(graph, source, ALPHA)
 
     top_exact = np.argsort(exact)[::-1][:10]

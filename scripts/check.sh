@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 test suite plus a batch-engine smoke benchmark that
+# fails when the vectorized engine is not faster than the reference loop
+# on a 10k-query RMAT workload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== batch engine smoke benchmark =="
+python benchmarks/bench_batch_engine.py --smoke

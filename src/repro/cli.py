@@ -17,14 +17,27 @@ import sys
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.workloads import make_spec
 from repro.core import RidgeWalker, RidgeWalkerConfig
-from repro.errors import ReproError
+from repro.engines import ENGINES, hops_per_second, run_software_walks
+from repro.errors import ReproError, WalkConfigError
 from repro.graph import dataset_names, load_dataset, load_edge_list, load_npz
 from repro.graph.datasets import assign_metapath_schema
 from repro.resources import DEVICE_CATALOG, get_device
+from repro.sampling.base import normalize_seed
 from repro.sim import UtilizationTracer, render_dashboard
-from repro.walks import make_queries
+from repro.walks import EngineStats, make_queries
 
 ALGORITHMS = ("URW", "PPR", "DeepWalk", "Node2Vec", "Node2Vec-reservoir", "MetaPath")
+
+#: ``walk`` options that only affect the accelerator model, as
+#: ``(flag, dest, default)``.  Keep in sync with ``build_parser`` — any
+#: sim-only option added there must be listed here so the software
+#: engines reject it instead of silently ignoring it.
+SIM_ONLY_WALK_OPTIONS = (
+    ("--streaming", "streaming", False),
+    ("--trace", "trace", False),
+    ("--pipelines", "pipelines", None),
+    ("--device", "device", None),
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,12 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     walk = sub.add_parser("walk", help="run a GRW workload on the accelerator")
     walk.add_argument("--algorithm", choices=ALGORITHMS, default="URW")
+    walk.add_argument("--engine", choices=ENGINES, default="sim",
+                      help="execution engine: 'sim' = cycle-level accelerator "
+                      "model, 'batch' = vectorized software frontier engine, "
+                      "'reference' = pure-Python oracle loop")
     walk.add_argument(
         "--dataset", default="WG",
         help=f"Table II dataset ({', '.join(dataset_names())}) or a path to "
         "a .npz / edge-list graph file",
     )
-    walk.add_argument("--device", choices=sorted(DEVICE_CATALOG), default="U55C")
+    walk.add_argument("--device", choices=sorted(DEVICE_CATALOG), default=None,
+                      help="accelerator device (default U55C; sim engine only)")
     walk.add_argument("--pipelines", type=int, default=None,
                       help="asynchronous pipelines (default: device maximum)")
     walk.add_argument("--queries", type=int, default=512)
@@ -79,14 +97,53 @@ def _load_graph(args) -> object:
     return graph
 
 
+def _run_software_engine(args, graph, spec, queries) -> int:
+    """Run the pure-software walk engines and report wall-clock throughput."""
+    stats = EngineStats()
+    results, elapsed = run_software_walks(
+        args.engine, graph, spec, queries, seed=args.seed + 2, stats=stats
+    )
+    print(f"\n{args.engine} engine: {stats.total_hops} hops in {elapsed:.3f}s "
+          f"({hops_per_second(stats.total_hops, elapsed):,.0f} hops/s)")
+    print(f"terminations: {stats.length_terminations} length, "
+          f"{stats.dangling_terminations} dangling, "
+          f"{stats.early_terminations} early, "
+          f"{stats.probabilistic_terminations} probabilistic")
+    print(f"sampling: {stats.sampling_proposals} proposals, "
+          f"{stats.neighbor_reads} neighbor reads, "
+          f"imbalance {stats.imbalance_ratio():.2f}")
+    lengths = results.lengths()
+    print(f"walk lengths: mean {lengths.mean():.1f}, min {lengths.min()}, "
+          f"max {lengths.max()}")
+    return 0
+
+
 def cmd_walk(args) -> int:
+    # Dataset generators and SeedSequence both reject negative entropy;
+    # masking keeps any int seed working (identity for seed >= 0).
+    args.seed = normalize_seed(args.seed)
+    if args.engine != "sim":
+        # Fail fast, before loading a potentially large graph.
+        for flag, dest, default in SIM_ONLY_WALK_OPTIONS:
+            if getattr(args, dest) != default:
+                raise WalkConfigError(
+                    f"{flag} only applies to the accelerator model; drop it or "
+                    f"use --engine sim"
+                )
+
     graph = _load_graph(args)
-    device = get_device(args.device)
-    pipelines = args.pipelines or device.max_pipelines
     spec = make_spec(args.algorithm)
     spec.max_length = args.length
-    config = RidgeWalkerConfig(num_pipelines=pipelines, memory=device.memory)
     queries = make_queries(graph, args.queries, seed=args.seed + 1)
+
+    if args.engine != "sim":
+        print(f"graph: {graph}")
+        print(f"workload: {args.algorithm}, {args.queries} queries, length {args.length}")
+        return _run_software_engine(args, graph, spec, queries)
+
+    device = get_device(args.device or "U55C")
+    pipelines = args.pipelines or device.max_pipelines
+    config = RidgeWalkerConfig(num_pipelines=pipelines, memory=device.memory)
     engine = RidgeWalker(graph, spec, config, seed=args.seed + 2)
 
     print(f"graph: {graph}")

@@ -1,0 +1,66 @@
+"""Engine registry: the one place that maps engine names to runners.
+
+Three engines execute the same ``WalkSpec``/``Query`` workloads and are
+held to the same statistical oracle: the cycle-level accelerator model
+(``sim``), the vectorized batch engine (``batch``) and the pure-Python
+reference loop (``reference``).  The CLI and the example applications
+both dispatch through this module so the engine list and the timing
+methodology cannot drift between entry points.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core import RidgeWalker, RidgeWalkerConfig
+from repro.errors import WalkConfigError
+from repro.graph.csr import CSRGraph
+from repro.memory.spec import HBM2_U55C
+from repro.walks import EngineStats, Query, WalkResults, WalkSpec, run_walks, run_walks_batch
+
+#: Every engine name accepted by ``--engine`` flags.
+ENGINES = ("sim", "batch", "reference")
+
+#: The engines that run as plain software (no cycle model).
+SOFTWARE_ENGINES = {"batch": run_walks_batch, "reference": run_walks}
+
+
+def run_software_walks(
+    engine: str,
+    graph: CSRGraph,
+    spec: WalkSpec,
+    queries: Sequence[Query],
+    seed: int = 0,
+    stats: EngineStats | None = None,
+) -> tuple[WalkResults, float]:
+    """Run a software engine, returning ``(results, elapsed_seconds)``."""
+    try:
+        runner = SOFTWARE_ENGINES[engine]
+    except KeyError:
+        raise WalkConfigError(
+            f"unknown software engine {engine!r}; expected one of "
+            f"{sorted(SOFTWARE_ENGINES)}"
+        ) from None
+    started = time.perf_counter()
+    results = runner(graph, spec, queries, seed=seed, stats=stats)
+    return results, time.perf_counter() - started
+
+
+def run_accelerator_walks(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    queries: Sequence[Query],
+    seed: int = 0,
+    num_pipelines: int = 4,
+    memory=HBM2_U55C,
+):
+    """Run the cycle-level accelerator model; returns its ``RunOutcome``
+    (``.results`` + ``.metrics``)."""
+    config = RidgeWalkerConfig(num_pipelines=num_pipelines, memory=memory)
+    return RidgeWalker(graph, spec, config, seed=seed).run(queries)
+
+
+def hops_per_second(hops: int, elapsed: float) -> float:
+    """Throughput with a zero-duration guard (tiny workloads)."""
+    return hops / elapsed if elapsed > 0 else float("inf")

@@ -13,11 +13,21 @@ from repro.sampling.its import InverseTransformSampler, exact_distribution
 from repro.sampling.rejection import RejectionSampler
 from repro.sampling.reservoir import ReservoirSampler
 from repro.sampling.uniform import UniformSampler
+from repro.sampling.vectorized import (
+    BatchSample,
+    QueryStreams,
+    VectorizedKernel,
+    make_kernel,
+)
 
 __all__ = [
     "AliasSampler",
+    "BatchSample",
     "InverseTransformSampler",
     "NumpyRandomSource",
+    "QueryStreams",
+    "VectorizedKernel",
+    "make_kernel",
     "RandomSource",
     "RejectionSampler",
     "ReservoirSampler",

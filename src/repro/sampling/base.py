@@ -26,6 +26,17 @@ from repro.graph.csr import CSRGraph
 from repro.rng.thundering import ThunderRing
 
 
+def normalize_seed(seed: int) -> int:
+    """Map any Python int onto valid ``SeedSequence`` entropy.
+
+    ``SeedSequence`` rejects negative integers; masking to 64 bits keeps
+    the engines' historical "any int seed works" contract while staying
+    deterministic (every distinct seed in ``[-2**63, 2**64)`` maps to a
+    distinct stream key).
+    """
+    return int(seed) & (2**64 - 1)
+
+
 class RandomSource(Protocol):
     """Uniform randomness interface consumed by samplers."""
 

@@ -37,19 +37,21 @@ class RejectionSampler(Sampler):
             raise SamplingError(f"node2vec parameters must be positive, got p={p}, q={q}")
         self.p = p
         self.q = q
-        self._return_bias = 1.0 / p
-        self._explore_bias = 1.0 / q
-        self._max_bias = max(self._return_bias, 1.0, self._explore_bias)
+        # Public: the vectorized RejectionKernel reuses these derived
+        # biases so both engines share one source of truth.
+        self.return_bias = 1.0 / p
+        self.explore_bias = 1.0 / q
+        self.max_bias = max(self.return_bias, 1.0, self.explore_bias)
 
     def bias(self, graph: CSRGraph, prev_vertex: int | None, candidate: int) -> float:
         """The Node2Vec bias of moving to ``candidate``."""
         if prev_vertex is None:
             return 1.0  # first hop degenerates to uniform
         if candidate == prev_vertex:
-            return self._return_bias
+            return self.return_bias
         if graph.has_edge(prev_vertex, candidate):
             return 1.0
-        return self._explore_bias
+        return self.explore_bias
 
     def sample(
         self,
@@ -60,7 +62,15 @@ class RejectionSampler(Sampler):
         degree = self._require_degree(graph, context.vertex)
         neighbors = graph.neighbors(context.vertex)
         prev = context.prev_vertex
-        prev_degree = graph.degree(prev) if prev is not None else 0
+        if prev is None:
+            # First hop: every candidate has bias 1.0, so the walk is
+            # exactly uniform — accept the first proposal outright rather
+            # than spinning through rejections at probability 1/max_bias,
+            # which inflated proposal/read counters in the cost models.
+            return SampleOutcome(
+                index=random_source.randint(degree), proposals=1, neighbor_reads=1
+            )
+        prev_degree = graph.degree(prev)
         proposals = 0
         reads = 0
         while True:
@@ -73,10 +83,10 @@ class RejectionSampler(Sampler):
             index = random_source.randint(degree)
             candidate = int(neighbors[index])
             reads += 1
-            if prev is not None and candidate != prev:
+            if candidate != prev:
                 # Adjacency probe of t's neighbor list costs O(deg(t)) reads
                 # in the worst case; hardware does a bounded scan.
                 reads += prev_degree
-            accept_probability = self.bias(graph, prev, candidate) / self._max_bias
+            accept_probability = self.bias(graph, prev, candidate) / self.max_bias
             if random_source.uniform() < accept_probability:
                 return SampleOutcome(index=index, proposals=proposals, neighbor_reads=reads)

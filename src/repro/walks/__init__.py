@@ -7,6 +7,7 @@ from repro.walks.base import (
     WalkSpec,
     make_queries,
 )
+from repro.walks.batch import run_walks_batch
 from repro.walks.deepwalk import DeepWalkSpec, cooccurrence_counts, skip_gram_pairs
 from repro.walks.metapath import MetaPathSpec
 from repro.walks.node2vec import (
@@ -38,5 +39,6 @@ __all__ = [
     "expected_visit_distribution",
     "make_queries",
     "run_walks",
+    "run_walks_batch",
     "skip_gram_pairs",
 ]

@@ -71,12 +71,25 @@ class WalkSpec(ABC):
         """Edge-type constraint for hop ``step`` (MetaPath); ``None`` = any."""
         return None
 
+    def termination_probability(self, step: int) -> float:
+        """Probability the walk ends after hop ``step`` by algorithmic
+        choice (PPR's teleport).  0.0 — never — by default.
+
+        Declaring the probability (rather than only the draw) lets the
+        batch engine apply termination to a whole frontier with one
+        vectorized draw.
+        """
+        return 0.0
+
     def terminates_probabilistically(
         self, step: int, random_source: RandomSource
     ) -> bool:
-        """Whether the walk ends after ``step`` by algorithmic choice
-        (PPR's teleport); the base implementation never does."""
-        return False
+        """Whether the walk ends after ``step`` by algorithmic choice;
+        draws one uniform only when :meth:`termination_probability` is
+        non-zero, preserving RNG stream alignment for non-terminating
+        specs."""
+        probability = self.termination_probability(step)
+        return probability > 0.0 and random_source.uniform() < probability
 
     @property
     def rp_entry_bits(self) -> int:

@@ -1,0 +1,164 @@
+"""NumPy-vectorized batch walk engine.
+
+Advances an entire frontier of walkers one superstep at a time instead of
+one query and one hop at a time — the step-centric batching of ThunderRW
+and the software analogue of RidgeWalker's pipelining.  The engine keeps
+arrays of ``(current, previous, alive, hops)`` for all queries; each
+superstep terminates dangling walkers, asks a vectorized sampling kernel
+for the whole frontier's next-hop choices, moves the survivors, and
+applies probabilistic termination (PPR's teleport) in one masked draw.
+
+Drop-in alternative to :func:`repro.walks.reference.run_walks`: same
+``WalkSpec``/``Query``/``WalkResults`` API, same per-query RNG substream
+keying (``SeedSequence((seed, query_id))``), same :class:`EngineStats`
+counter semantics.  Statistical equivalence against the reference engine
+is enforced by chi-square tests; throughput is benchmarked by
+``benchmarks/bench_batch_engine.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, WalkConfigError
+from repro.graph.csr import CSRGraph
+from repro.sampling.vectorized import QueryStreams, make_kernel
+from repro.walks.base import Query, WalkResults, WalkSpec
+from repro.walks.reference import EngineStats
+
+#: Termination-cause codes recorded per walker (0 = ran to max length).
+_RAN_FULL_LENGTH = 0
+_DANGLING = 1
+_EARLY = 2
+_PROBABILISTIC = 3
+
+
+def run_walks_batch(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    queries: Sequence[Query],
+    seed: int = 0,
+    stats: EngineStats | None = None,
+) -> WalkResults:
+    """Execute ``queries`` under ``spec`` with frontier supersteps.
+
+    Deterministic in ``seed`` and independent of query order, like the
+    reference engine; per-query paths are *statistically* equivalent to
+    the reference engine's, not bit-identical (the engines consume their
+    substreams in different patterns).
+    """
+    if type(spec).terminates_probabilistically is not WalkSpec.terminates_probabilistically:
+        # The batch engine applies probabilistic termination as one
+        # vectorized draw per superstep, so it never calls the scalar
+        # terminates_probabilistically() hook; any spec overriding that
+        # hook may carry a termination rule termination_probability()
+        # does not express, and running it here would silently drop it.
+        raise WalkConfigError(
+            f"{type(spec).__name__} overrides terminates_probabilistically(), which the "
+            "batch engine never consults — express the rule via "
+            "termination_probability() or use the reference engine"
+        )
+    results = WalkResults()
+    num_queries = len(queries)
+    if num_queries == 0:
+        return results
+
+    sampler = spec.make_sampler()
+    kernel = make_kernel(sampler)
+    kernel.prepare(graph)
+    streams = QueryStreams(seed, [query.query_id for query in queries])
+
+    degrees = graph.degrees()
+    current = np.fromiter(
+        (query.start_vertex for query in queries), dtype=np.int64, count=num_queries
+    )
+    if current.size and (current.min() < 0 or current.max() >= graph.num_vertices):
+        bad = int(current[(current < 0) | (current >= graph.num_vertices)][0])
+        raise GraphError(
+            f"vertex {bad} out of range for graph with {graph.num_vertices} vertices"
+        )
+    previous = np.full(num_queries, -1, dtype=np.int64)
+    alive = np.ones(num_queries, dtype=bool)
+    hops = np.zeros(num_queries, dtype=np.int64)
+    cause = np.full(num_queries, _RAN_FULL_LENGTH, dtype=np.uint8)
+    # The path buffer grows by doubling as walks lengthen, so peak memory
+    # tracks the longest *observed* walk, not max_length — geometric
+    # terminators like PPR cap walks at hundreds of hops but rarely pass
+    # a dozen.
+    capacity = min(spec.max_length, 16)
+    paths = np.empty((num_queries, capacity + 1), dtype=np.int64)
+    paths[:, 0] = current
+
+    for step in range(spec.max_length):
+        frontier = np.nonzero(alive)[0]
+        if frontier.size == 0:
+            break
+
+        dangling = degrees[current[frontier]] == 0
+        if dangling.any():
+            stuck = frontier[dangling]
+            alive[stuck] = False
+            cause[stuck] = _DANGLING
+            frontier = frontier[~dangling]
+            if frontier.size == 0:
+                break
+
+        prev_arg = previous[frontier] if spec.needs_prev_vertex else np.full(
+            frontier.size, -1, dtype=np.int64
+        )
+        batch = kernel.sample(
+            graph,
+            current[frontier],
+            prev_arg,
+            spec.admissible_type(step),
+            streams,
+            frontier,
+        )
+        if stats is not None:
+            stats.sampling_proposals += batch.proposals
+            stats.neighbor_reads += batch.neighbor_reads
+
+        terminated = batch.choice < 0
+        if terminated.any():
+            ended = frontier[terminated]
+            alive[ended] = False
+            cause[ended] = _EARLY
+            frontier = frontier[~terminated]
+            if frontier.size == 0:
+                continue
+        choice = batch.choice[batch.choice >= 0]
+
+        next_vertex = graph.col[graph.row_ptr[current[frontier]] + choice]
+        previous[frontier] = current[frontier]
+        current[frontier] = next_vertex
+        hops[frontier] += 1
+        if step + 1 > capacity:
+            capacity = min(spec.max_length, capacity * 2)
+            grown = np.empty((num_queries, capacity + 1), dtype=np.int64)
+            grown[:, : paths.shape[1]] = paths
+            paths = grown
+        paths[frontier, step + 1] = next_vertex
+
+        teleport = spec.termination_probability(step)
+        if teleport > 0.0:
+            stop = streams.uniforms(frontier) < teleport
+            if stop.any():
+                ended = frontier[stop]
+                alive[ended] = False
+                cause[ended] = _PROBABILISTIC
+
+    for i in range(num_queries):
+        # Copy: a view would pin the whole (num_queries x capacity)
+        # buffer in memory for as long as any single path is alive.
+        results.add_path(paths[i, : hops[i] + 1].copy())
+
+    if stats is not None:
+        stats.total_hops += int(hops.sum())
+        stats.per_query_hops.extend(int(h) for h in hops)
+        stats.dangling_terminations += int(np.count_nonzero(cause == _DANGLING))
+        stats.early_terminations += int(np.count_nonzero(cause == _EARLY))
+        stats.probabilistic_terminations += int(np.count_nonzero(cause == _PROBABILISTIC))
+        stats.length_terminations += int(np.count_nonzero(alive))
+    return results

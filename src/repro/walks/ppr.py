@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import WalkConfigError
-from repro.sampling.base import RandomSource
 from repro.sampling.uniform import UniformSampler
 from repro.walks.base import DEFAULT_MAX_LENGTH, WalkSpec, WalkResults
 
@@ -36,10 +35,8 @@ class PPRSpec(WalkSpec):
     def make_sampler(self) -> UniformSampler:
         return UniformSampler()
 
-    def terminates_probabilistically(
-        self, step: int, random_source: RandomSource
-    ) -> bool:
-        return random_source.uniform() < self.alpha
+    def termination_probability(self, step: int) -> float:
+        return self.alpha
 
     def expected_length(self) -> float:
         """Mean walk length implied by geometric termination (capped)."""

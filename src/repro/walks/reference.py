@@ -19,11 +19,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.sampling.base import NumpyRandomSource, StepContext
+from repro.sampling.base import NumpyRandomSource, StepContext, normalize_seed
 from repro.walks.base import Query, WalkResults, WalkSpec
-
-#: Large odd constant separating per-query RNG streams.
-_QUERY_STREAM_SALT = 0x9E3779B97F4A7C15
 
 
 @dataclass
@@ -63,9 +60,14 @@ def run_walks(
     sampler = spec.make_sampler()
     sampler.prepare(graph)
     results = WalkResults()
+    seed = normalize_seed(seed)
     for query in queries:
+        # SeedSequence((seed, query_id)) gives provably well-separated
+        # substreams; the previous xor-mix derivation produced colliding
+        # streams across (seed, query_id) pairs (e.g. (0, 1) and
+        # (salt, 0) were identical).
         rng = NumpyRandomSource(
-            np.random.default_rng((seed ^ (query.query_id * _QUERY_STREAM_SALT)) & (2**63 - 1))
+            np.random.default_rng(np.random.SeedSequence((seed, query.query_id)))
         )
         path = [query.start_vertex]
         current = query.start_vertex

@@ -15,7 +15,8 @@ class TestParser:
         args = build_parser().parse_args(["walk"])
         assert args.algorithm == "URW"
         assert args.dataset == "WG"
-        assert args.device == "U55C"
+        assert args.engine == "sim"
+        assert args.device is None  # resolved to U55C by the sim engine
 
     def test_experiment_id_validated(self):
         with pytest.raises(SystemExit):
@@ -36,6 +37,25 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "MStep/s" in out and "walk lengths" in out
+
+    def test_walk_software_engines(self, capsys):
+        for engine in ("batch", "reference"):
+            code = main([
+                "walk", "--engine", engine, "--dataset", "WG", "--scale", "0.05",
+                "--queries", "32", "--length", "8", "--algorithm", "PPR",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"{engine} engine:" in out and "hops/s" in out
+            assert "walk lengths" in out
+
+    def test_software_engine_rejects_sim_only_flags(self, capsys):
+        code = main([
+            "walk", "--engine", "batch", "--streaming",
+            "--dataset", "WG", "--scale", "0.05", "--queries", "8",
+        ])
+        assert code == 1
+        assert "--engine sim" in capsys.readouterr().err
 
     def test_walk_streaming_with_trace(self, capsys):
         code = main([

@@ -115,6 +115,29 @@ class TestQueries:
         assert not g.has_edge(1, 0)
         assert not g.has_edge(2, 0)
 
+    def test_cols_sorted_detected(self):
+        assert make_simple().cols_sorted
+        # Descents *between* neighbor lists don't break sortedness.
+        g = CSRGraph(row_ptr=np.array([0, 2, 4, 4, 4]), col=np.array([2, 3, 0, 1]))
+        assert g.cols_sorted
+
+    def test_cols_unsorted_detected_and_has_edge_still_correct(self):
+        g = CSRGraph(row_ptr=np.array([0, 3, 3, 3]), col=np.array([2, 0, 1]))
+        assert not g.cols_sorted
+        assert g.has_edge(0, 0) and g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert not g.has_edge(1, 0)
+
+    def test_has_edge_binary_search_agrees_with_scan(self):
+        rng = np.random.default_rng(5)
+        from repro.graph import rmat
+
+        g = rmat(7, edge_factor=4, seed=3)
+        assert g.cols_sorted
+        for _ in range(200):
+            src = int(rng.integers(0, g.num_vertices))
+            dst = int(rng.integers(0, g.num_vertices))
+            assert g.has_edge(src, dst) == bool(np.any(g.neighbors(src) == dst))
+
     def test_dangling_vertices(self):
         g = make_simple()
         assert g.dangling_vertices().tolist() == [2]

@@ -129,6 +129,18 @@ class TestRejectionSampler:
         return_index = list(g.neighbors(1)).index(0)
         assert dist[return_index] < 0.01
 
+    def test_first_hop_accepts_immediately(self):
+        # Regression: the degenerate-uniform first hop (bias 1.0 for every
+        # candidate) used to accept with probability 1/max_bias, spinning
+        # through rejected proposals and inflating the cost counters.
+        g = self.diamond()
+        sampler = RejectionSampler(p=100.0, q=0.001)  # max_bias = 1000
+        source = rng_source(7)
+        for _ in range(50):
+            outcome = sampler.sample(g, StepContext(vertex=1), source)
+            assert outcome.proposals == 1
+            assert outcome.neighbor_reads == 1
+
     def test_proposals_counted(self):
         g = self.diamond()
         context = StepContext(vertex=1, prev_vertex=0)

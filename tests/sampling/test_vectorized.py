@@ -1,0 +1,166 @@
+"""Unit tests for the vectorized sampling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph import from_edges, rmat
+from repro.sampling import (
+    AliasSampler,
+    QueryStreams,
+    RejectionSampler,
+    ReservoirSampler,
+    UniformSampler,
+    make_kernel,
+)
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.vectorized import (
+    AliasKernel,
+    RejectionKernel,
+    ReservoirKernel,
+    UniformKernel,
+    build_edge_keys,
+    edges_exist,
+)
+
+
+class TestQueryStreams:
+    def test_deterministic(self):
+        a = QueryStreams(1, [0, 1, 2])
+        b = QueryStreams(1, [0, 1, 2])
+        idx = np.arange(3)
+        assert np.array_equal(a.uniforms(idx), b.uniforms(idx))
+
+    def test_streams_keyed_by_query_id_not_position(self):
+        a = QueryStreams(1, [0, 1, 2])
+        b = QueryStreams(1, [2, 1, 0])
+        ua = a.uniforms(np.arange(3))
+        ub = b.uniforms(np.arange(3))
+        assert np.array_equal(ua, ub[::-1])
+
+    def test_uniforms_in_unit_interval_and_uniform(self):
+        streams = QueryStreams(3, list(range(64)))
+        draws = np.concatenate([streams.uniforms(np.arange(64)) for _ in range(400)])
+        assert draws.min() >= 0.0 and draws.max() < 1.0
+        assert abs(draws.mean() - 0.5) < 0.01
+        assert abs(np.var(draws) - 1 / 12) < 0.005
+
+    def test_randints_respect_bounds(self):
+        streams = QueryStreams(0, list(range(16)))
+        bounds = np.arange(1, 17)
+        for _ in range(200):
+            draw = streams.randints(bounds, np.arange(16))
+            assert np.all(draw >= 0) and np.all(draw < bounds)
+
+    def test_element_uniforms_shape_and_range(self):
+        streams = QueryStreams(0, [0, 1, 2])
+        counts = np.array([3, 1, 5])
+        flat = streams.element_uniforms(np.arange(3), counts)
+        assert flat.shape == (9,)
+        assert flat.min() >= 0.0 and flat.max() < 1.0
+
+
+class TestEdgeKeys:
+    def test_matches_has_edge_everywhere(self):
+        g = rmat(6, edge_factor=3, seed=2)
+        keys = build_edge_keys(g)
+        n = g.num_vertices
+        src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        exists = edges_exist(keys, n, src.ravel(), dst.ravel()).reshape(n, n)
+        for v in range(n):
+            for u in range(n):
+                assert exists[v, u] == g.has_edge(v, u)
+
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=4)
+        keys = build_edge_keys(g)
+        assert not edges_exist(keys, 4, np.array([0]), np.array([1]))[0]
+
+
+def empirical_kernel(kernel, graph, vertex, prev=None, admissible=None, rounds=20_000):
+    """Empirical within-neighborhood choice distribution of one kernel."""
+    streams = QueryStreams(0, list(range(rounds)))
+    current = np.full(rounds, vertex, dtype=np.int64)
+    previous = np.full(rounds, -1 if prev is None else prev, dtype=np.int64)
+    batch = kernel.sample(graph, current, previous, admissible, streams, np.arange(rounds))
+    degree = graph.degree(vertex)
+    counts = np.bincount(batch.choice[batch.choice >= 0], minlength=degree)
+    return counts / max(1, batch.choice.size)
+
+
+def weighted_fan():
+    return from_edges(
+        [(0, 1), (0, 2), (0, 3), (0, 4)],
+        weights=[1.0, 2.0, 3.0, 4.0],
+        num_vertices=5,
+    )
+
+
+class TestKernelDistributions:
+    def test_uniform_kernel(self):
+        g = weighted_fan()
+        dist = empirical_kernel(UniformKernel(), g, 0)
+        assert np.allclose(dist, 0.25, atol=0.02)
+
+    def test_alias_kernel_weighted(self):
+        g = weighted_fan()
+        kernel = AliasKernel()
+        kernel.prepare(g)
+        dist = empirical_kernel(kernel, g, 0)
+        assert np.allclose(dist, np.array([1, 2, 3, 4]) / 10.0, atol=0.02)
+
+    def test_rejection_kernel_second_order(self):
+        from repro.walks.node2vec import exact_step_distribution
+
+        g = from_edges(
+            [(0, 1), (0, 2), (1, 0), (1, 2), (1, 3), (2, 0), (3, 1)],
+            num_vertices=4,
+        )
+        kernel = RejectionKernel(p=2.0, q=0.5)
+        kernel.prepare(g)
+        dist = empirical_kernel(kernel, g, 1, prev=0)
+        expected = exact_step_distribution(g, current=1, previous=0, p=2.0, q=0.5)
+        assert np.allclose(dist, expected, atol=0.02)
+
+    def test_reservoir_kernel_weighted(self):
+        g = weighted_fan()
+        kernel = ReservoirKernel()
+        kernel.prepare(g)
+        dist = empirical_kernel(kernel, g, 0)
+        assert np.allclose(dist, np.array([1, 2, 3, 4]) / 10.0, atol=0.02)
+
+    def test_reservoir_kernel_type_filter(self):
+        g = from_edges(
+            [(0, 1), (0, 2), (0, 3)],
+            edge_types=[0, 1, 0],
+            num_vertices=4,
+        )
+        kernel = ReservoirKernel()
+        kernel.prepare(g)
+        dist = empirical_kernel(kernel, g, 0, admissible=0, rounds=6000)
+        assert dist[1] == 0.0
+        assert np.allclose(dist[[0, 2]], 0.5, atol=0.03)
+
+    def test_reservoir_kernel_no_admissible_terminates(self):
+        g = from_edges([(0, 1)], edge_types=[0], num_vertices=2)
+        kernel = ReservoirKernel()
+        kernel.prepare(g)
+        streams = QueryStreams(0, [0])
+        batch = kernel.sample(
+            g, np.array([0]), np.array([-1]), 5, streams, np.array([0])
+        )
+        assert batch.choice[0] == -1
+
+
+class TestKernelFactory:
+    def test_maps_all_table_one_samplers(self):
+        assert isinstance(make_kernel(UniformSampler()), UniformKernel)
+        assert isinstance(make_kernel(AliasSampler()), AliasKernel)
+        assert isinstance(make_kernel(RejectionSampler(p=2, q=0.5)), RejectionKernel)
+        reservoir = make_kernel(ReservoirSampler(p=2.0, q=0.5))
+        assert isinstance(reservoir, ReservoirKernel)
+        assert reservoir.second_order
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(SamplingError, match="vectorized"):
+            make_kernel(InverseTransformSampler())

@@ -1,0 +1,313 @@
+"""Unit and equivalence tests for the vectorized batch walk engine.
+
+The batch engine must be a drop-in alternative to the reference loop:
+identical semantics on deterministic graphs, identical EngineStats
+accounting contracts, and statistically indistinguishable visit
+distributions on every walk spec (chi-square, the same oracle the
+hardware simulator is held to).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import SamplingError
+from repro.graph import cycle_graph, from_edges, load_dataset, path_graph
+from repro.graph.datasets import assign_metapath_schema
+from repro.walks import (
+    DeepWalkSpec,
+    EngineStats,
+    MetaPathSpec,
+    Node2VecSpec,
+    PPRSpec,
+    Query,
+    URWSpec,
+    estimate_ppr,
+    make_queries,
+    run_walks,
+    run_walks_batch,
+)
+
+
+def chi_square_compare(counts_a, counts_b, min_expected=5.0):
+    """Two-sample chi-square on visit histograms; returns the p-value."""
+    counts_a = np.asarray(counts_a, dtype=np.float64)
+    counts_b = np.asarray(counts_b, dtype=np.float64)
+    keep = (counts_a + counts_b) >= 2 * min_expected
+    if keep.sum() < 2:
+        pytest.skip("not enough populated bins for a chi-square test")
+    a, b = counts_a[keep], counts_b[keep]
+    total_a, total_b = a.sum(), b.sum()
+    pooled = (a + b) / (total_a + total_b)
+    chi2 = float((((a - pooled * total_a) ** 2) / (pooled * total_a)).sum()
+                 + (((b - pooled * total_b) ** 2) / (pooled * total_b)).sum())
+    return 1.0 - scipy_stats.chi2.cdf(chi2, int(keep.sum() - 1))
+
+
+class TestBasicSemantics:
+    def test_cycle_walk_is_deterministic_path(self):
+        g = cycle_graph(5)
+        results = run_walks_batch(g, URWSpec(max_length=7), [Query(0, 0)], seed=1)
+        assert results.path_of(0).tolist() == [0, 1, 2, 3, 4, 0, 1, 2]
+
+    def test_walk_stops_at_dangling_vertex(self):
+        g = path_graph(4)
+        results = run_walks_batch(g, URWSpec(max_length=80), [Query(0, 0)], seed=1)
+        assert results.path_of(0).tolist() == [0, 1, 2, 3]
+
+    def test_walk_from_dangling_start_has_zero_hops(self):
+        g = path_graph(2)
+        results = run_walks_batch(g, URWSpec(max_length=10), [Query(0, 1)], seed=1)
+        assert results.path_of(0).tolist() == [1]
+        assert results.total_steps == 0
+
+    def test_zero_queries(self):
+        g = cycle_graph(3)
+        results = run_walks_batch(g, URWSpec(max_length=5), [], seed=1)
+        assert results.num_queries == 0
+        assert results.total_steps == 0
+
+    def test_single_step_walks(self):
+        g = load_dataset("WG", scale=0.1, seed=1)
+        qs = make_queries(g, 16, seed=2)
+        results = run_walks_batch(g, URWSpec(max_length=1), qs, seed=3)
+        assert all(results.lengths() == 1)
+        for path in results.paths:
+            assert g.has_edge(int(path[0]), int(path[1]))
+
+    def test_max_length_respected(self):
+        g = cycle_graph(3)
+        results = run_walks_batch(g, URWSpec(max_length=5), [Query(0, 0)], seed=1)
+        assert results.lengths().tolist() == [5]
+
+    def test_deterministic_in_seed(self):
+        g = load_dataset("WG", scale=0.1, seed=1)
+        qs = make_queries(g, 16, seed=2)
+        a = run_walks_batch(g, URWSpec(max_length=10), qs, seed=3)
+        b = run_walks_batch(g, URWSpec(max_length=10), qs, seed=3)
+        for pa, pb in zip(a.paths, b.paths):
+            assert np.array_equal(pa, pb)
+
+    def test_independent_of_query_order(self):
+        g = load_dataset("WG", scale=0.1, seed=1)
+        q0, q1 = Query(0, 5), Query(1, 9)
+        forward = run_walks_batch(g, URWSpec(max_length=10), [q0, q1], seed=3)
+        backward = run_walks_batch(g, URWSpec(max_length=10), [q1, q0], seed=3)
+        assert np.array_equal(forward.path_of(0), backward.path_of(1))
+        assert np.array_equal(forward.path_of(1), backward.path_of(0))
+
+    def test_independent_of_batch_composition(self):
+        # A query's substream is keyed by (seed, query_id), so its path
+        # must not change when other queries join the batch.
+        g = load_dataset("WG", scale=0.1, seed=1)
+        alone = run_walks_batch(g, URWSpec(max_length=10), [Query(7, 5)], seed=3)
+        crowd = run_walks_batch(
+            g, URWSpec(max_length=10), [Query(i, 9) for i in range(5)] + [Query(7, 5)], seed=3
+        )
+        assert np.array_equal(alone.path_of(0), crowd.path_of(5))
+
+    def test_negative_seed_accepted_by_both_engines(self):
+        # Regression: SeedSequence rejects negative entropy; the engines
+        # must keep the historical "any int seed" contract by masking.
+        g = load_dataset("WG", scale=0.1, seed=1)
+        for runner in (run_walks, run_walks_batch):
+            results = runner(g, URWSpec(max_length=5), [Query(0, 5)], seed=-3)
+            assert results.num_queries == 1
+
+    def test_paths_do_not_alias_internal_buffer(self):
+        # Regression: returning views into the (num_queries x capacity)
+        # buffer would pin it in memory for the lifetime of any path.
+        g = cycle_graph(5)
+        results = run_walks_batch(g, URWSpec(max_length=4), [Query(0, 0), Query(1, 1)], seed=1)
+        for path in results.paths:
+            assert path.base is None
+
+    def test_every_hop_follows_an_edge(self):
+        g = load_dataset("CP", scale=0.1, seed=1)
+        qs = make_queries(g, 8, seed=4)
+        results = run_walks_batch(g, URWSpec(max_length=15), qs, seed=5)
+        for path in results.paths:
+            for a, b in zip(path[:-1], path[1:]):
+                assert g.has_edge(int(a), int(b))
+
+    def test_node2vec_never_backtracks_with_huge_p(self):
+        g = from_edges([(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)], num_vertices=3)
+        spec = Node2VecSpec(p=1e9, q=1.0, max_length=40)
+        results = run_walks_batch(g, spec, [Query(i, 0) for i in range(20)], seed=8)
+        for path in results.paths:
+            for i in range(2, path.size):
+                assert path[i] != path[i - 2], f"backtracked in {path.tolist()}"
+
+    def test_metapath_follows_pattern(self):
+        g = load_dataset("WG", scale=0.1, seed=1, weighted=True)
+        g = assign_metapath_schema(g, num_types=3, seed=9)
+        pattern = [0, 1, 2]
+        spec = MetaPathSpec(pattern=pattern, max_length=12)
+        results = run_walks_batch(g, spec, make_queries(g, 20, seed=10), seed=11)
+        for path in results.paths:
+            for hop, dst in enumerate(path[1:]):
+                assert int(g.vertex_types[int(dst)]) == pattern[hop % 3]
+
+    def test_metapath_terminates_early_when_no_match(self):
+        g = from_edges([(0, 1)], edge_types=[1], num_vertices=2)
+        g = g.with_weights(np.ones(1))
+        results = run_walks_batch(g, MetaPathSpec(pattern=[0], max_length=10), [Query(0, 0)], seed=12)
+        assert results.path_of(0).tolist() == [0]
+
+    def test_scalar_only_termination_hook_rejected(self):
+        # A spec that overrides terminates_probabilistically() without
+        # declaring termination_probability() would silently lose its
+        # termination rule under vectorized execution; refuse to run it.
+        from repro.errors import WalkConfigError
+        from repro.sampling.uniform import UniformSampler
+        from repro.walks.base import WalkSpec
+
+        class LegacyPPR(WalkSpec):
+            def make_sampler(self):
+                return UniformSampler()
+
+            def terminates_probabilistically(self, step, random_source):
+                return random_source.uniform() < 0.2
+
+        g = cycle_graph(4)
+        with pytest.raises(WalkConfigError, match="termination_probability"):
+            run_walks_batch(g, LegacyPPR(max_length=5), [Query(0, 0)], seed=1)
+
+    def test_unknown_sampler_rejected(self):
+        from repro.sampling.its import InverseTransformSampler
+        from repro.walks.base import WalkSpec
+
+        class ITSSpec(WalkSpec):
+            def make_sampler(self):
+                return InverseTransformSampler()
+
+        g = cycle_graph(3).with_weights(np.ones(3))
+        with pytest.raises(SamplingError, match="vectorized"):
+            run_walks_batch(g, ITSSpec(max_length=3), [Query(0, 0)], seed=1)
+
+
+class TestStatisticalEquivalence:
+    """Chi-square: batch visit histograms vs the reference engine's."""
+
+    def _compare(self, graph, spec, num_queries=500, seed=5):
+        queries = make_queries(graph, num_queries, seed=seed)
+        ref = run_walks(graph, spec, queries, seed=seed + 1)
+        bat = run_walks_batch(graph, spec, queries, seed=seed + 2)
+        p = chi_square_compare(
+            ref.visit_counts(graph.num_vertices),
+            bat.visit_counts(graph.num_vertices),
+        )
+        assert p > 0.001, f"visit distributions diverge (p={p:.5f})"
+
+    def test_deepwalk_weighted(self):
+        self._compare(
+            load_dataset("WG", scale=0.08, seed=1, weighted=True), DeepWalkSpec(max_length=25)
+        )
+
+    def test_node2vec_rejection(self):
+        self._compare(
+            load_dataset("AS", scale=0.05, seed=1), Node2VecSpec(max_length=20), num_queries=400
+        )
+
+    def test_node2vec_reservoir_weighted(self):
+        self._compare(
+            load_dataset("WG", scale=0.08, seed=1, weighted=True),
+            Node2VecSpec(max_length=20, strategy="reservoir"),
+            num_queries=400,
+        )
+
+    def test_ppr(self):
+        self._compare(
+            load_dataset("AS", scale=0.05, seed=1), PPRSpec(alpha=0.2, max_length=40)
+        )
+
+    def test_metapath(self):
+        g = load_dataset("WG", scale=0.08, seed=1, weighted=True)
+        g = assign_metapath_schema(g, num_types=3, seed=2)
+        self._compare(g, MetaPathSpec(pattern=[0, 1, 2], max_length=12), num_queries=600)
+
+    def test_ppr_lengths_are_geometric(self):
+        g = cycle_graph(1000)
+        spec = PPRSpec(alpha=0.2, max_length=10_000)
+        results = run_walks_batch(g, spec, [Query(i, 0) for i in range(2000)], seed=6)
+        assert results.lengths().mean() == pytest.approx(1 / 0.2, rel=0.1)
+
+    def test_ppr_estimates_agree(self):
+        g = load_dataset("CP", scale=0.1, seed=1)
+        source = int(np.argmax(g.degrees()))
+        queries = [Query(i, source) for i in range(4000)]
+        spec = PPRSpec(alpha=0.2, max_length=100)
+        ref = estimate_ppr(run_walks(g, spec, queries, seed=7), g.num_vertices)
+        bat = estimate_ppr(run_walks_batch(g, spec, queries, seed=8), g.num_vertices)
+        assert float(np.abs(ref - bat).sum()) < 0.5  # L1 of two MC estimates
+
+
+class TestEngineStats:
+    def test_termination_accounting_sums(self):
+        g = load_dataset("CP", scale=0.1, seed=1)
+        qs = make_queries(g, 40, seed=13)
+        stats = EngineStats()
+        run_walks_batch(g, URWSpec(max_length=10), qs, seed=14, stats=stats)
+        terminations = (
+            stats.dangling_terminations
+            + stats.early_terminations
+            + stats.probabilistic_terminations
+            + stats.length_terminations
+        )
+        assert terminations == len(qs)
+        assert stats.total_hops == sum(stats.per_query_hops)
+
+    def test_per_query_hops_in_query_order(self):
+        g = path_graph(5)  # deterministic: hop count = distance to the end
+        queries = [Query(0, 2), Query(1, 0), Query(2, 4)]
+        stats = EngineStats()
+        run_walks_batch(g, URWSpec(max_length=10), queries, seed=1, stats=stats)
+        assert stats.per_query_hops == [2, 4, 0]
+
+    def test_uniform_cost_counters_match_hops(self):
+        g = cycle_graph(8)
+        stats = EngineStats()
+        run_walks_batch(g, URWSpec(max_length=12), [Query(i, 0) for i in range(5)], seed=2,
+                        stats=stats)
+        # Uniform sampling: exactly one proposal and one read per hop.
+        assert stats.sampling_proposals == stats.total_hops
+        assert stats.neighbor_reads == stats.total_hops
+
+    def test_alias_reads_twice_per_hop(self):
+        g = cycle_graph(6).with_weights(np.arange(1.0, 7.0))
+        stats = EngineStats()
+        run_walks_batch(g, DeepWalkSpec(max_length=4), [Query(0, 0)], seed=3, stats=stats)
+        assert stats.neighbor_reads == 2 * stats.total_hops
+
+    def test_dangling_terminations_counted(self):
+        g = path_graph(3)
+        stats = EngineStats()
+        run_walks_batch(g, URWSpec(max_length=10),
+                        [Query(0, 0), Query(1, 2)], seed=4, stats=stats)
+        assert stats.dangling_terminations == 2
+        assert stats.length_terminations == 0
+
+
+class TestRNGStreamDerivation:
+    """Regression: SeedSequence((seed, query_id)) keying must not collide.
+
+    The old xor-mix derivation mapped (seed=0, query_id=1) and
+    (seed=salt, query_id=0) to the same stream.
+    """
+
+    SALT = 0x9E3779B97F4A7C15 & (2**63 - 1)
+
+    def _first_paths(self, runner):
+        g = load_dataset("WG", scale=0.1, seed=1)
+        hub = int(np.argmax(g.degrees()))  # branching start: paths are RNG-driven
+        a = runner(g, URWSpec(max_length=20), [Query(1, hub)], seed=0).path_of(0)
+        b = runner(g, URWSpec(max_length=20), [Query(0, hub)], seed=self.SALT).path_of(0)
+        return a, b
+
+    def test_reference_streams_do_not_collide(self):
+        a, b = self._first_paths(run_walks)
+        assert not np.array_equal(a, b)
+
+    def test_batch_streams_do_not_collide(self):
+        a, b = self._first_paths(run_walks_batch)
+        assert not np.array_equal(a, b)
