@@ -21,23 +21,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.bench.reporting import resolve_bench_json_path, write_bench_json
+from repro.bench.workloads import RMAT_BENCH_ALGORITHMS, make_spec
 from repro.engines import hops_per_second, run_software_walks
 from repro.graph import rmat
-from repro.walks import (
-    DeepWalkSpec,
-    EngineStats,
-    Node2VecSpec,
-    PPRSpec,
-    URWSpec,
-    make_queries,
-)
-
-SPECS = {
-    "DeepWalk": DeepWalkSpec,
-    "URW": URWSpec,
-    "PPR": lambda max_length: PPRSpec(alpha=0.15, max_length=max_length),
-    "Node2Vec": Node2VecSpec,
-}
+from repro.parallel import default_workers
+from repro.walks import EngineStats, make_queries
 
 
 def measure(engine, graph, spec, queries, seed):
@@ -56,10 +45,15 @@ def main(argv=None) -> int:
     parser.add_argument("--ref-queries", type=int, default=1_000,
                         help="reference-engine subsample (hops/sec is flat in it)")
     parser.add_argument("--length", type=int, default=80)
-    parser.add_argument("--algorithm", choices=sorted(SPECS), default="DeepWalk")
+    parser.add_argument("--algorithm", choices=RMAT_BENCH_ALGORITHMS, default="DeepWalk")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--min-speedup", type=float, default=10.0,
                         help="fail when batch/reference hops-per-sec falls below this")
+    parser.add_argument("--json", default=None,
+                        help="machine-readable output path; defaults to "
+                        "benchmarks/BENCH_batch.json for full runs and off for "
+                        "--smoke (so CI smokes don't overwrite the acceptance "
+                        "record); '' disables")
     parser.add_argument("--smoke", action="store_true",
                         help="CI gate: RMAT-14, small reference subsample, "
                         "require only that batch is faster at all")
@@ -70,9 +64,12 @@ def main(argv=None) -> int:
         args.edge_factor = min(args.edge_factor, 8)
         args.ref_queries = min(args.ref_queries, 300)
         args.min_speedup = 1.0
+    args.json = resolve_bench_json_path(args.json, args.smoke, __file__,
+                                        "BENCH_batch.json")
 
     graph = rmat(args.scale, edge_factor=args.edge_factor, seed=args.seed)
-    spec = SPECS[args.algorithm](max_length=args.length)
+    spec = make_spec(args.algorithm)
+    spec.max_length = args.length
     queries = make_queries(graph, args.queries, seed=args.seed + 1)
     print(f"graph: {graph}")
     print(f"workload: {args.algorithm}, {args.queries} queries, length {args.length}")
@@ -87,6 +84,28 @@ def main(argv=None) -> int:
 
     speedup = batch_rate / ref_rate
     print(f"speedup:   {speedup:.1f}x (required: {args.min_speedup:.1f}x)")
+
+    if args.json:
+        write_bench_json(args.json, {
+            "benchmark": "batch_engine",
+            "workload": {
+                "algorithm": args.algorithm,
+                "graph": f"rmat-{args.scale}",
+                "edge_factor": args.edge_factor,
+                "queries": args.queries,
+                "length": args.length,
+                "smoke": args.smoke,
+            },
+            "host_cores": default_workers(),  # affinity-aware available cores
+            "hops_per_sec": {
+                "batch": round(batch_rate),
+                "reference": round(ref_rate),
+            },
+            "total_hops": batch_hops,
+            "speedup_vs_reference": round(speedup, 3),
+        })
+        print(f"wrote {args.json}")
+
     if speedup < args.min_speedup:
         print("FAIL: batch engine below required speedup", file=sys.stderr)
         return 1

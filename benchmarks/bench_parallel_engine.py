@@ -1,0 +1,181 @@
+"""Throughput benchmark: sharded parallel engine vs the single-core batch engine.
+
+Runs the same workload — by default 100k DeepWalk queries of length 80 on
+an RMAT-18 graph, the acceptance workload — through a warmed
+:class:`repro.parallel.ParallelWalkEngine` (persistent worker pool,
+shared-memory graph) and the single-core batch engine with an equally
+warmed (pre-prepared) kernel, and compares hops/sec.  On a host with >= 4 cores the parallel engine must
+reach ``--min-speedup`` (default 3x) over batch or the benchmark exits
+non-zero; on smaller hosts the ratio is reported but not enforced —
+there is nothing to scale across.
+
+Both runs also write machine-readable ``BENCH_parallel.json`` (hops/sec,
+workload, host cores, workers) via ``--json`` so the perf trajectory is
+tracked across PRs.
+
+``--smoke`` (used by ``scripts/check.sh``) shrinks the workload to a
+2-worker, RMAT-12 run, skips the speedup gate, and instead asserts the
+parallel engine's results are bit-identical to the batch engine's — the
+correctness property CI must never lose.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel_engine.py          # acceptance run
+      PYTHONPATH=src python benchmarks/bench_parallel_engine.py --smoke  # fast CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.reporting import resolve_bench_json_path, write_bench_json
+from repro.bench.workloads import RMAT_BENCH_ALGORITHMS, make_spec
+from repro.engines import hops_per_second
+from repro.graph import rmat
+from repro.parallel import ParallelWalkEngine, default_workers
+from repro.sampling.vectorized import make_kernel
+from repro.walks import EngineStats, WalkResults, make_queries
+from repro.walks.batch import run_walks_batch_arrays
+
+#: Available cores below which the speedup gate is advisory, not
+#: enforced (the acceptance criterion targets ">= 3x on a >= 4-core
+#: host").  Affinity-aware, like the engine's own worker default.
+MIN_GATED_CORES = 4
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=18,
+                        help="RMAT scale (2**scale vertices; acceptance default 18)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--queries", type=int, default=100_000)
+    parser.add_argument("--length", type=int, default=80)
+    parser.add_argument("--algorithm", choices=RMAT_BENCH_ALGORITHMS, default="DeepWalk")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail when parallel/batch hops-per-sec falls below "
+                        f"this on a >= {MIN_GATED_CORES}-core host")
+    parser.add_argument("--json", default=None,
+                        help="machine-readable output path; defaults to "
+                        "benchmarks/BENCH_parallel.json for full runs and off "
+                        "for --smoke (so CI smokes don't overwrite the "
+                        "acceptance record); '' disables")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: 2 workers on RMAT-12, verify the parallel "
+                        "engine is bit-identical to batch instead of gating speedup")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale = min(args.scale, 12)
+        args.edge_factor = min(args.edge_factor, 8)
+        args.queries = min(args.queries, 2_000)
+        args.length = min(args.length, 40)
+        args.workers = args.workers or 2
+    args.json = resolve_bench_json_path(args.json, args.smoke, __file__,
+                                        "BENCH_parallel.json")
+
+    host_cores = default_workers()  # affinity-aware available cores
+    workers = args.workers or host_cores
+    graph = rmat(args.scale, edge_factor=args.edge_factor, seed=args.seed)
+    spec = make_spec(args.algorithm)
+    spec.max_length = args.length
+    queries = make_queries(graph, args.queries, seed=args.seed + 1)
+    print(f"graph: {graph}")
+    print(f"workload: {args.algorithm}, {args.queries} queries, length {args.length}")
+    print(f"host: {host_cores} cores; parallel workers: {workers}")
+
+    # Warmed-vs-warmed comparison: the parallel engine amortizes kernel
+    # preparation (alias tables, edge keys) across batches, so the batch
+    # side gets the same courtesy — prepare untimed, then time the
+    # array-level run.  Comparing a warmed pool against cold per-call
+    # preparation would inflate the gated speedup.
+    kernel = make_kernel(spec.make_sampler())
+    kernel.prepare(graph)
+    query_ids = np.fromiter((q.query_id for q in queries), np.int64, len(queries))
+    starts = np.fromiter((q.start_vertex for q in queries), np.int64, len(queries))
+    batch_stats = EngineStats()
+    started = time.perf_counter()
+    paths, hops = run_walks_batch_arrays(
+        graph, spec, kernel, starts, query_ids, seed=args.seed + 2, stats=batch_stats
+    )
+    batch_results = WalkResults()
+    batch_results.extend_from_matrix(paths, hops)
+    batch_s = time.perf_counter() - started
+    batch_rate = hops_per_second(batch_stats.total_hops, batch_s)
+    print(f"batch:    {batch_stats.total_hops:>10d} hops  {batch_s:8.3f}s  "
+          f"{batch_rate:>12,.0f} hops/s")
+
+    parallel_stats = EngineStats()
+    with ParallelWalkEngine(graph, spec, workers=workers) as engine:
+        # Pool + shared-graph setup is a one-time serving cost; a tiny
+        # warmup batch forces every worker through its (lazy) initializer
+        # so the measured section is what a warmed-up server does per
+        # batch.
+        engine.run(queries[: workers * 8], seed=args.seed + 99)
+        started = time.perf_counter()
+        parallel_results = engine.run(queries, seed=args.seed + 2, stats=parallel_stats)
+        parallel_s = time.perf_counter() - started
+    parallel_rate = hops_per_second(parallel_stats.total_hops, parallel_s)
+    print(f"parallel: {parallel_stats.total_hops:>10d} hops  {parallel_s:8.3f}s  "
+          f"{parallel_rate:>12,.0f} hops/s")
+
+    speedup = parallel_rate / batch_rate if batch_rate else float("inf")
+    print(f"speedup:  {speedup:.2f}x over batch "
+          f"(gate: {args.min_speedup:.1f}x on >= {MIN_GATED_CORES} cores)")
+
+    if args.json:
+        write_bench_json(args.json, {
+            "benchmark": "parallel_engine",
+            "workload": {
+                "algorithm": args.algorithm,
+                "graph": f"rmat-{args.scale}",
+                "edge_factor": args.edge_factor,
+                "queries": args.queries,
+                "length": args.length,
+                "smoke": args.smoke,
+            },
+            "host_cores": host_cores,
+            "workers": workers,
+            "hops_per_sec": {
+                "batch": round(batch_rate),
+                "parallel": round(parallel_rate),
+            },
+            "total_hops": parallel_stats.total_hops,
+            "speedup_vs_batch": round(speedup, 3),
+            # Records are self-describing about whether the >=3x gate
+            # applied on the recording host.
+            "gate": {
+                "min_speedup": args.min_speedup,
+                "enforced": host_cores >= MIN_GATED_CORES and not args.smoke,
+            },
+        })
+        print(f"wrote {args.json}")
+
+    if args.smoke:
+        if parallel_stats.total_hops != batch_stats.total_hops:
+            print("FAIL: parallel engine hop count diverges from batch", file=sys.stderr)
+            return 1
+        for a, b in zip(batch_results.paths, parallel_results.paths):
+            if not np.array_equal(a, b):
+                print("FAIL: parallel engine paths diverge from batch", file=sys.stderr)
+                return 1
+        print("PASS (smoke: parallel results bit-identical to batch)")
+        return 0
+
+    if host_cores < MIN_GATED_CORES:
+        print(f"PASS (advisory: {host_cores} < {MIN_GATED_CORES} cores, "
+              "speedup gate not enforced)")
+        return 0
+    if speedup < args.min_speedup:
+        print("FAIL: parallel engine below required speedup", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,14 +8,14 @@ the cycle-level RidgeWalker model instead — then builds a co-occurrence
 PPMI matrix plus truncated-SVD embeddings (no ML framework needed), and
 sanity-checks that embedding similarity reflects graph proximity.
 
-Run:  python examples/deepwalk_embeddings.py [--engine {batch,reference,sim}]
+Run:  python examples/deepwalk_embeddings.py [--engine {batch,parallel,reference,sim}]
 """
 
 import argparse
 
 import numpy as np
 
-from common import ENGINE_CHOICES, run_with_engine
+from common import add_engine_arguments, run_with_engine
 from repro.graph import load_dataset
 from repro.walks import DeepWalkSpec, cooccurrence_counts, make_queries
 
@@ -49,7 +49,7 @@ def cosine(a: np.ndarray, b: np.ndarray) -> float:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--engine", choices=ENGINE_CHOICES, default="batch")
+    add_engine_arguments(parser)
     args = parser.parse_args()
 
     graph = load_dataset("WG", scale=0.08, seed=1, weighted=True)
@@ -57,7 +57,8 @@ def main() -> None:
 
     spec = DeepWalkSpec(max_length=40)
     queries = make_queries(graph, 600, seed=2)
-    results = run_with_engine(args.engine, graph, spec, queries, seed=3)
+    results = run_with_engine(args.engine, graph, spec, queries, seed=3,
+                              workers=args.workers)
     print(f"corpus: {results.num_queries} walks, {results.total_steps} hops")
 
     counts = cooccurrence_counts(results, window=WINDOW)

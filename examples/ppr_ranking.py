@@ -9,14 +9,14 @@ accelerator model — and compares the Monte-Carlo estimate against an
 exact power-iteration solution of the same PPR system, demonstrating
 end-to-end statistical correctness, not just throughput.
 
-Run:  python examples/ppr_ranking.py [--engine {batch,reference,sim}]
+Run:  python examples/ppr_ranking.py [--engine {batch,parallel,reference,sim}]
 """
 
 import argparse
 
 import numpy as np
 
-from common import ENGINE_CHOICES, run_with_engine
+from common import add_engine_arguments, run_with_engine
 from repro.graph import load_dataset
 from repro.walks import PPRSpec, Query, estimate_ppr
 
@@ -59,7 +59,7 @@ def exact_ppr(graph, source: int, alpha: float, iterations: int = 200) -> np.nda
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--engine", choices=ENGINE_CHOICES, default="batch")
+    add_engine_arguments(parser)
     args = parser.parse_args()
 
     graph = load_dataset("CP", scale=0.2, seed=1)
@@ -68,7 +68,8 @@ def main() -> None:
 
     spec = PPRSpec(alpha=ALPHA, max_length=200)
     queries = [Query(i, source) for i in range(NUM_WALKS)]
-    results = run_with_engine(args.engine, graph, spec, queries, seed=7)
+    results = run_with_engine(args.engine, graph, spec, queries, seed=7,
+                              workers=args.workers)
 
     estimated = estimate_ppr(results, graph.num_vertices)
     exact = exact_ppr(graph, source, ALPHA)

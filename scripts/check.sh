@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 test suite plus a batch-engine smoke benchmark that
-# fails when the vectorized engine is not faster than the reference loop
-# on a 10k-query RMAT workload.
+# CI gate: tier-1 test suite plus engine smoke benchmarks — the batch
+# engine must beat the reference loop on a 10k-query RMAT workload, and
+# the sharded parallel engine (2 workers, small graph) must produce
+# bit-identical results to the batch engine.  (The machine-readable
+# BENCH_*.json perf records are rewritten by the *full* benchmark runs,
+# not by these smokes.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,3 +16,7 @@ python -m pytest -x -q
 echo
 echo "== batch engine smoke benchmark =="
 python benchmarks/bench_batch_engine.py --smoke
+
+echo
+echo "== parallel engine smoke (2 workers) =="
+python benchmarks/bench_parallel_engine.py --smoke

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.errors import BenchmarkError
@@ -92,3 +94,31 @@ def geometric_mean(values: Sequence[float]) -> float:
     for v in values:
         product *= v
     return product ** (1.0 / len(values))
+
+
+def write_bench_json(path, payload: dict) -> None:
+    """Write one engine benchmark's machine-readable record.
+
+    The throughput benchmarks drop ``BENCH_<engine>.json`` files (hops/sec,
+    workload, host core count) that are committed alongside code changes,
+    so the perf trajectory across PRs lives in version control rather than
+    in prose.  Keys are sorted and floats rounded by the caller, keeping
+    diffs reviewable.
+    """
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def resolve_bench_json_path(json_arg, smoke: bool, script_file, filename: str) -> str:
+    """Where an engine benchmark should write its BENCH record.
+
+    One place encodes the convention both engine benchmarks share: an
+    explicit ``--json`` always wins (``''`` disables), smokes default to
+    off (CI smokes must not overwrite the acceptance record), and full
+    runs default to ``filename`` next to the benchmark script — not the
+    cwd, so a run launched from anywhere lands in ``benchmarks/``.
+    """
+    if json_arg is not None:
+        return json_arg
+    if smoke:
+        return ""
+    return str(Path(script_file).resolve().parent / filename)

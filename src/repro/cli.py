@@ -39,6 +39,13 @@ SIM_ONLY_WALK_OPTIONS = (
     ("--device", "device", None),
 )
 
+#: ``walk`` options that only one software engine understands, as
+#: ``(flag, dest, default, engine)``; the registry rejects misdirected
+#: options too, but checking here fails before a large graph loads.
+ENGINE_ONLY_WALK_OPTIONS = (
+    ("--workers", "workers", None, "parallel"),
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -53,7 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--engine", choices=ENGINES, default="sim",
                       help="execution engine: 'sim' = cycle-level accelerator "
                       "model, 'batch' = vectorized software frontier engine, "
+                      "'parallel' = sharded multicore batch engine, "
                       "'reference' = pure-Python oracle loop")
+    walk.add_argument("--workers", type=int, default=None,
+                      help="worker processes (parallel engine only; "
+                      "default: all cores)")
     walk.add_argument(
         "--dataset", default="WG",
         help=f"Table II dataset ({', '.join(dataset_names())}) or a path to "
@@ -101,7 +112,8 @@ def _run_software_engine(args, graph, spec, queries) -> int:
     """Run the pure-software walk engines and report wall-clock throughput."""
     stats = EngineStats()
     results, elapsed = run_software_walks(
-        args.engine, graph, spec, queries, seed=args.seed + 2, stats=stats
+        args.engine, graph, spec, queries, seed=args.seed + 2, stats=stats,
+        workers=args.workers,
     )
     print(f"\n{args.engine} engine: {stats.total_hops} hops in {elapsed:.3f}s "
           f"({hops_per_second(stats.total_hops, elapsed):,.0f} hops/s)")
@@ -130,6 +142,12 @@ def cmd_walk(args) -> int:
                     f"{flag} only applies to the accelerator model; drop it or "
                     f"use --engine sim"
                 )
+    for flag, dest, default, engine in ENGINE_ONLY_WALK_OPTIONS:
+        if getattr(args, dest) != default and args.engine != engine:
+            raise WalkConfigError(
+                f"{flag} only applies to the {engine} engine; drop it or "
+                f"use --engine {engine}"
+            )
 
     graph = _load_graph(args)
     spec = make_spec(args.algorithm)

@@ -1,11 +1,17 @@
 """Engine registry: the one place that maps engine names to runners.
 
-Three engines execute the same ``WalkSpec``/``Query`` workloads and are
+Four engines execute the same ``WalkSpec``/``Query`` workloads and are
 held to the same statistical oracle: the cycle-level accelerator model
-(``sim``), the vectorized batch engine (``batch``) and the pure-Python
-reference loop (``reference``).  The CLI and the example applications
-both dispatch through this module so the engine list and the timing
-methodology cannot drift between entry points.
+(``sim``), the sharded multicore engine (``parallel``), the vectorized
+batch engine (``batch``) and the pure-Python reference loop
+(``reference``).  The CLI and the example applications both dispatch
+through this module so the engine list, each engine's option surface,
+and the timing methodology cannot drift between entry points.
+
+Engine-specific options (today: ``workers`` for the parallel engine)
+ride through ``run_software_walks`` as keyword arguments; the registry
+validates them against each engine's declared option set so a typo or a
+flag aimed at the wrong engine fails loudly instead of being ignored.
 """
 
 from __future__ import annotations
@@ -17,13 +23,26 @@ from repro.core import RidgeWalker, RidgeWalkerConfig
 from repro.errors import WalkConfigError
 from repro.graph.csr import CSRGraph
 from repro.memory.spec import HBM2_U55C
+from repro.parallel import run_walks_parallel
 from repro.walks import EngineStats, Query, WalkResults, WalkSpec, run_walks, run_walks_batch
 
 #: Every engine name accepted by ``--engine`` flags.
-ENGINES = ("sim", "batch", "reference")
+ENGINES = ("sim", "batch", "parallel", "reference")
 
 #: The engines that run as plain software (no cycle model).
-SOFTWARE_ENGINES = {"batch": run_walks_batch, "reference": run_walks}
+SOFTWARE_ENGINES = {
+    "batch": run_walks_batch,
+    "parallel": run_walks_parallel,
+    "reference": run_walks,
+}
+
+#: Extra keyword options each software engine accepts beyond the shared
+#: ``(graph, spec, queries, seed, stats)`` signature.
+ENGINE_OPTIONS: dict[str, frozenset[str]] = {
+    "batch": frozenset(),
+    "parallel": frozenset({"workers"}),
+    "reference": frozenset(),
+}
 
 
 def run_software_walks(
@@ -33,8 +52,14 @@ def run_software_walks(
     queries: Sequence[Query],
     seed: int = 0,
     stats: EngineStats | None = None,
+    **options,
 ) -> tuple[WalkResults, float]:
-    """Run a software engine, returning ``(results, elapsed_seconds)``."""
+    """Run a software engine, returning ``(results, elapsed_seconds)``.
+
+    ``options`` carries engine-specific settings (``workers=N`` for the
+    parallel engine); ``None``-valued options mean "engine default" and
+    are dropped.  Options an engine does not declare are rejected.
+    """
     try:
         runner = SOFTWARE_ENGINES[engine]
     except KeyError:
@@ -42,8 +67,16 @@ def run_software_walks(
             f"unknown software engine {engine!r}; expected one of "
             f"{sorted(SOFTWARE_ENGINES)}"
         ) from None
+    options = {name: value for name, value in options.items() if value is not None}
+    unknown = set(options) - ENGINE_OPTIONS[engine]
+    if unknown:
+        raise WalkConfigError(
+            f"engine {engine!r} does not accept option(s) "
+            f"{', '.join(sorted(unknown))}; it accepts "
+            f"{sorted(ENGINE_OPTIONS[engine]) or 'no options'}"
+        )
     started = time.perf_counter()
-    results = runner(graph, spec, queries, seed=seed, stats=stats)
+    results = runner(graph, spec, queries, seed=seed, stats=stats, **options)
     return results, time.perf_counter() - started
 
 

@@ -1,0 +1,223 @@
+"""Sharded multicore walk engine: one batch engine per core.
+
+RidgeWalker scales by replicating perfectly pipelined walk pipelines
+against HBM channels; this is the software analogue — the vectorized
+batch engine (~20x the reference loop on one core) replicated across a
+persistent ``multiprocessing`` worker pool, all workers sampling against
+one shared-memory CSR graph.  The parent builds and prepares everything
+exactly once (graph arrays, alias tables, edge keys), broadcasts it
+through :mod:`repro.parallel.shared_graph`, shards each query batch with
+the degree-aware cost planner, and merges worker results back into query
+order.
+
+Determinism is absolute, not best-effort: every query's randomness is
+keyed by ``SeedSequence((seed, query_id))`` independently of its shard,
+and the merge reassembles paths by original batch position — so
+``WalkResults`` and ``EngineStats`` are bit-identical for any
+``workers`` count and any query order.  Tests prove it.
+
+Use :class:`ParallelWalkEngine` directly to amortize pool + shared-graph
+setup across many batches (the serving pattern), or the one-shot
+:func:`run_walks_parallel` wrapper (the ``--engine parallel`` path).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, WalkConfigError
+from repro.graph.csr import CSRGraph
+from repro.parallel import worker as _worker
+from repro.parallel.planner import QueryCostModel, plan_shards
+from repro.parallel.shared_graph import KERNEL_PREFIX, SharedArrayStore, graph_arrays
+from repro.sampling.vectorized import make_kernel
+from repro.walks.base import Query, WalkResults, WalkSpec, split_path_buffer
+from repro.walks.batch import check_batch_spec
+from repro.walks.reference import EngineStats
+
+
+def default_workers() -> int:
+    """Worker count when none is given: every core actually available.
+
+    CPU affinity masks and container quotas make this differ from
+    ``os.cpu_count()`` — a 2-CPU cgroup on a 16-core host should get 2
+    workers, not 16 oversubscribed ones.  The parallel benchmark gates
+    its speedup requirement on the same number.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without affinity APIs
+        return max(1, os.cpu_count() or 1)
+
+
+def _pick_context() -> multiprocessing.context.BaseContext:
+    """Fork on Linux (cheap start, inherited modules); the platform
+    default elsewhere — macOS offers fork but deliberately defaults to
+    spawn because forking a process with framework threads is unsafe.
+    The shared-memory design works under both start methods."""
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelWalkEngine:
+    """A persistent pool of batch-engine workers over one shared graph.
+
+    Construction pays the one-time costs: kernel preparation (alias
+    tables, edge keys), the shared-memory copy of graph + kernel state,
+    and pool start-up.  Every :meth:`run` after that only ships shard
+    descriptors (ids, starts, seed) out and dense path matrices back.
+    Close the engine (or use it as a context manager) to tear down the
+    pool and unlink the shared segment.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        workers: int | None = None,
+        shards_per_worker: int = 4,
+    ) -> None:
+        check_batch_spec(spec)
+        if workers is not None and workers < 1:
+            raise WalkConfigError(f"workers must be >= 1, got {workers}")
+        if shards_per_worker < 1:
+            raise WalkConfigError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        self._graph = graph
+        self._spec = spec
+        self._workers = workers or default_workers()
+        # Oversharding streams results back while later shards still
+        # compute, hiding the parent's merge cost behind worker time; it
+        # also lets a fast worker steal queued shards from a slow one.
+        self._shards_per_worker = shards_per_worker
+        self._cost_model = QueryCostModel(graph, spec)
+
+        kernel = make_kernel(spec.make_sampler())
+        kernel.prepare(graph)
+        shared = dict(graph_arrays(graph))
+        for name, array in kernel.state_arrays().items():
+            shared[KERNEL_PREFIX + name] = array
+        self._store = SharedArrayStore.create(shared, graph_name=graph.name)
+        self._pool = None
+        try:
+            context = _pick_context()
+            self._pool = context.Pool(
+                processes=self._workers,
+                initializer=_worker.init_worker,
+                # Forked workers share the parent's resource tracker and
+                # must leave the segment registration alone; spawned ones
+                # have their own tracker and must untrack the attach.
+                initargs=(self._store.handle, spec, context.get_start_method() != "fork"),
+            )
+        except Exception:
+            self._store.close()
+            raise
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def run(
+        self,
+        queries: Sequence[Query],
+        seed: int = 0,
+        stats: EngineStats | None = None,
+    ) -> WalkResults:
+        """Execute ``queries``, bit-identical to ``run_walks_batch``."""
+        if self._pool is None:
+            raise WalkConfigError("parallel engine is closed")
+        results = WalkResults()
+        num_queries = len(queries)
+        if num_queries == 0:
+            return results
+        query_ids = np.fromiter(
+            (query.query_id for query in queries), dtype=np.int64, count=num_queries
+        )
+        starts = np.fromiter(
+            (query.start_vertex for query in queries), dtype=np.int64, count=num_queries
+        )
+        # Fail fast in the parent, before work is sharded out.
+        if starts.min() < 0 or starts.max() >= self._graph.num_vertices:
+            bad = int(starts[(starts < 0) | (starts >= self._graph.num_vertices)][0])
+            raise GraphError(
+                f"vertex {bad} out of range for graph with "
+                f"{self._graph.num_vertices} vertices"
+            )
+
+        costs = self._cost_model.costs(starts)
+        shards = plan_shards(costs, self._workers * self._shards_per_worker)
+        tasks = [
+            (positions, query_ids[positions], starts[positions], seed)
+            for positions in shards
+            if positions.size
+        ]
+
+        # Stream the merge: shards arrive in completion order (the scatter
+        # below is position-addressed, so arrival order cannot change the
+        # result) and the parent reassembles each one while workers are
+        # still computing the rest — merge cost hides behind compute.
+        merged: list[np.ndarray | None] = [None] * num_queries
+        merged_hops = np.zeros(num_queries, dtype=np.int64)
+        counter_totals = np.zeros(len(_worker.STAT_FIELDS), dtype=np.int64)
+        for positions, flat, hops, counts in self._pool.imap_unordered(
+            _worker.run_shard, tasks
+        ):
+            pieces = split_path_buffer(flat, hops + 1)
+            for position, piece in zip(positions.tolist(), pieces):
+                merged[position] = piece
+            merged_hops[positions] = hops
+            counter_totals += counts
+        results.paths = merged
+        results.total_steps = int(merged_hops.sum())
+
+        if stats is not None:
+            for name, value in zip(_worker.STAT_FIELDS, counter_totals):
+                setattr(stats, name, getattr(stats, name) + int(value))
+            stats.total_hops += int(merged_hops.sum())
+            stats.per_query_hops.extend(int(h) for h in merged_hops)
+        return results
+
+    def close(self) -> None:
+        """Stop the workers and release the shared segment."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._store.close()
+
+    def __enter__(self) -> "ParallelWalkEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def run_walks_parallel(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    queries: Sequence[Query],
+    seed: int = 0,
+    stats: EngineStats | None = None,
+    workers: int | None = None,
+) -> WalkResults:
+    """One-shot parallel execution (``--engine parallel``).
+
+    Spins the pool up and down around a single batch; long-lived callers
+    should hold a :class:`ParallelWalkEngine` instead so pool and
+    shared-graph setup amortize across requests.
+    """
+    with ParallelWalkEngine(graph, spec, workers=workers) as engine:
+        return engine.run(queries, seed=seed, stats=stats)

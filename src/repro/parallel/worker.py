@@ -1,0 +1,77 @@
+"""Worker-process side of the parallel walk engine.
+
+Each pool worker attaches the shared-memory graph once at initialization
+(zero-copy views), rebuilds its vectorized sampling kernel from the
+broadcast prepared state — no per-worker alias-table or edge-key builds
+— and then serves shard requests by running the batch engine's array
+core.  Results travel back as dense matrices, not per-path objects, so
+the pickling cost stays one buffer per shard.
+
+Module-level functions + globals (rather than closures) keep the worker
+entry points picklable under every multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.shared_graph import (
+    SharedArrayStore,
+    SharedStoreHandle,
+    graph_from_store,
+    kernel_state_from_store,
+)
+from repro.sampling.vectorized import make_kernel
+from repro.walks.base import compact_path_matrix
+from repro.walks.batch import run_walks_batch_arrays
+from repro.walks.reference import EngineStats
+
+#: Scalar EngineStats counters a worker reports back per shard, in order.
+STAT_FIELDS = (
+    "sampling_proposals",
+    "neighbor_reads",
+    "dangling_terminations",
+    "early_terminations",
+    "probabilistic_terminations",
+    "length_terminations",
+)
+
+_STORE: SharedArrayStore | None = None
+_GRAPH = None
+_SPEC = None
+_KERNEL = None
+
+
+def init_worker(handle: SharedStoreHandle, spec, untrack_segment: bool = False) -> None:
+    """Pool initializer: attach the shared graph and load kernel state.
+
+    ``untrack_segment`` is True for spawned workers (private resource
+    tracker) and False for forked ones (shared tracker) — see
+    :meth:`SharedArrayStore.attach`.
+    """
+    global _STORE, _GRAPH, _SPEC, _KERNEL
+    _STORE = SharedArrayStore.attach(handle, untrack=untrack_segment)
+    _GRAPH = graph_from_store(_STORE)
+    _SPEC = spec
+    _KERNEL = make_kernel(spec.make_sampler())
+    _KERNEL.load_state(kernel_state_from_store(_STORE))
+
+
+def run_shard(task):
+    """Run one shard; returns ``(positions, flat_paths, hops, stat_counts)``.
+
+    ``task`` is ``(positions, query_ids, start_vertices, seed)``; the
+    positions index the original query batch and ride through untouched
+    so the parent can merge shards deterministically in query order.
+    Paths are compacted worker-side (``compact_path_matrix``) so the
+    padding of the superstep buffer never crosses the process boundary
+    and the gather cost parallelizes across workers.
+    """
+    positions, query_ids, starts, seed = task
+    stats = EngineStats()
+    paths, hops = run_walks_batch_arrays(
+        _GRAPH, _SPEC, _KERNEL, starts, query_ids, seed=seed, stats=stats
+    )
+    flat, _ = compact_path_matrix(paths, hops)
+    counts = np.array([getattr(stats, name) for name in STAT_FIELDS], dtype=np.int64)
+    return positions, flat, hops, counts

@@ -49,6 +49,114 @@ _MIX_2 = np.uint64(0x94D049BB133111EB)
 _ELEMENT_GAMMA = np.uint64(0xD1B54A32D192ED03)
 _TO_UNIT = 1.0 / (1 << 53)
 
+# numpy SeedSequence hashing constants (numpy/random/bit_generator.pyx).
+# The batched derivation below reproduces SeedSequence bit-for-bit so the
+# per-query substream keying stays identical to the reference engine's
+# while costing a handful of array ops instead of one SeedSequence object
+# per query.
+_SS_POOL_SIZE = 4
+_SS_INIT_A = 0x43B0D7E5
+_SS_MULT_A = 0x931E8875
+_SS_INIT_B = 0x8B51F9DD
+_SS_MULT_B = 0x58F38DED
+_SS_MIX_L = np.uint32(0xCA01F9DD)
+_SS_MIX_R = np.uint32(0x4973F715)
+_SS_XSHIFT = np.uint32(16)
+_SS_WORD_MASK = 0xFFFFFFFF
+
+
+def _ss_hash(value: np.ndarray, hash_const: int) -> tuple[np.ndarray, int]:
+    """One SeedSequence hash round over a uint32 array; advances the
+    (position-dependent, data-independent) hash constant."""
+    value = value ^ np.uint32(hash_const)
+    hash_const = (hash_const * _SS_MULT_A) & _SS_WORD_MASK
+    value = value * np.uint32(hash_const)
+    return value ^ (value >> _SS_XSHIFT), hash_const
+
+
+def _ss_mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    result = x * _SS_MIX_L - y * _SS_MIX_R
+    return result ^ (result >> _SS_XSHIFT)
+
+
+def _int_to_words(value: int) -> list[int]:
+    """SeedSequence's little-endian 32-bit word coercion of one int."""
+    if value == 0:
+        return [0]
+    words = []
+    while value:
+        words.append(value & _SS_WORD_MASK)
+        value >>= 32
+    return words
+
+
+def _ss_states_for_words(seed_words: list[int], qid_words: list[np.ndarray]) -> np.ndarray:
+    """States for one group of queries whose ids coerce to the same number
+    of 32-bit words (so every query sees the same entropy layout)."""
+    n = qid_words[0].size
+    entropy = [np.full(n, word, dtype=np.uint32) for word in seed_words] + qid_words
+    if len(entropy) > _SS_POOL_SIZE:  # pragma: no cover - ids are < 2**64
+        raise SamplingError("seed/query-id entropy exceeds the SeedSequence pool")
+    hash_const = _SS_INIT_A
+    pool: list[np.ndarray] = []
+    for i in range(_SS_POOL_SIZE):
+        word = entropy[i] if i < len(entropy) else np.zeros(n, dtype=np.uint32)
+        hashed, hash_const = _ss_hash(word, hash_const)
+        pool.append(hashed)
+    for src in range(_SS_POOL_SIZE):
+        for dst in range(_SS_POOL_SIZE):
+            if src != dst:
+                hashed, hash_const = _ss_hash(pool[src], hash_const)
+                pool[dst] = _ss_mix(pool[dst], hashed)
+    hash_const = _SS_INIT_B
+    words: list[np.ndarray] = []
+    for i in range(2):
+        value = pool[i] ^ np.uint32(hash_const)
+        hash_const = (hash_const * _SS_MULT_B) & _SS_WORD_MASK
+        value = value * np.uint32(hash_const)
+        words.append(value ^ (value >> _SS_XSHIFT))
+    return words[0].astype(np.uint64) | (words[1].astype(np.uint64) << np.uint64(32))
+
+
+def seed_sequence_states(seed: int, query_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+    """``SeedSequence((seed, qid)).generate_state(1, uint64)[0]`` for every
+    query id, bit-exactly, in a handful of vectorized passes.
+
+    Seeding one ``SeedSequence`` object per query is the remaining
+    O(num_queries) scalar cost in batch-engine setup; this reproduces the
+    exact hash pipeline (entropy coercion, pool mixing, state generation)
+    with uint32 array arithmetic.  Queries are grouped by how many 32-bit
+    words their id coerces to, since the entropy layout — and therefore
+    the sequence of hash constants — depends only on that count.
+    Equality with the scalar derivation is enforced by tests.
+    """
+    # Mask to valid SeedSequence entropy first: a negative int would make
+    # _int_to_words loop forever (Python's >> keeps negatives negative),
+    # and the engines' contract is "any int seed works".
+    seed = normalize_seed(seed)
+    ids = np.asarray(query_ids)
+    if ids.dtype.kind == "i" and ids.size and ids.min() < 0:
+        raise SamplingError("query ids must be non-negative")
+    ids = ids.astype(np.uint64)
+    if ids.ndim != 1:
+        ids = ids.reshape(-1)
+    states = np.empty(ids.size, dtype=np.uint64)
+    if ids.size == 0:
+        return states
+    seed_words = _int_to_words(int(seed))
+    wide = ids >= np.uint64(1 << 32)
+    narrow = np.nonzero(~wide)[0]
+    if narrow.size:
+        states[narrow] = _ss_states_for_words(
+            seed_words, [ids[narrow].astype(np.uint32)]
+        )
+    wide_idx = np.nonzero(wide)[0]
+    if wide_idx.size:
+        lo = (ids[wide_idx] & np.uint64(_SS_WORD_MASK)).astype(np.uint32)
+        hi = (ids[wide_idx] >> np.uint64(32)).astype(np.uint32)
+        states[wide_idx] = _ss_states_for_words(seed_words, [lo, hi])
+    return states
+
 
 def _mix64(z: np.ndarray) -> np.ndarray:
     """splitmix64 finalizer over a uint64 array (wrapping arithmetic)."""
@@ -72,14 +180,12 @@ class QueryStreams:
     pairs never collide (the property the old xor-mix derivation lacked).
     """
 
-    def __init__(self, seed: int, query_ids: Sequence[int]) -> None:
+    def __init__(self, seed: int, query_ids: Sequence[int] | np.ndarray) -> None:
         seed = normalize_seed(seed)
-        states = np.empty(len(query_ids), dtype=np.uint64)
-        for i, query_id in enumerate(query_ids):
-            states[i] = np.random.SeedSequence((seed, int(query_id))).generate_state(
-                1, dtype=np.uint64
-            )[0]
-        self._state = states
+        # Batched bit-exact SeedSequence derivation — same states as
+        # seeding one SeedSequence per query, minus the per-query Python
+        # object cost (see seed_sequence_states).
+        self._state = seed_sequence_states(seed, query_ids)
 
     @property
     def num_streams(self) -> int:
@@ -170,6 +276,25 @@ class VectorizedKernel(ABC):
     def prepare(self, graph: CSRGraph) -> None:
         """Per-graph preprocessing hook (alias tables, edge keys)."""
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Prepared per-graph state as named flat arrays.
+
+        The parallel engine broadcasts these through shared memory so the
+        (potentially expensive) :meth:`prepare` pass runs once in the
+        parent instead of once per worker.  Kernels without prepared
+        state return an empty mapping.  Must be called after
+        :meth:`prepare`.
+        """
+        return {}
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Adopt prepared state exported by :meth:`state_arrays`.
+
+        ``arrays`` may be zero-copy views of shared memory; kernels must
+        not mutate them.  A kernel loaded this way is ready to sample
+        without a :meth:`prepare` call.
+        """
+
     @abstractmethod
     def sample(
         self,
@@ -206,6 +331,14 @@ class AliasKernel(VectorizedKernel):
 
     def prepare(self, graph: CSRGraph) -> None:
         self._table = build_alias_table(graph)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        if self._table is None:
+            raise SamplingError("AliasKernel.prepare(graph) must run before exporting state")
+        return {"alias_prob": self._table.prob, "alias_index": self._table.alias}
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        self._table = AliasTable(prob=arrays["alias_prob"], alias=arrays["alias_index"])
 
     def sample(self, graph, current, previous, admissible_type, streams, stream_idx):
         if self._table is None:
@@ -252,6 +385,14 @@ class RejectionKernel(VectorizedKernel):
 
     def prepare(self, graph: CSRGraph) -> None:
         self._edge_keys = build_edge_keys(graph)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        if self._edge_keys is None:
+            raise SamplingError("RejectionKernel.prepare(graph) must run before exporting state")
+        return {"edge_keys": self._edge_keys}
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        self._edge_keys = arrays["edge_keys"]
 
     def sample(self, graph, current, previous, admissible_type, streams, stream_idx):
         if self._edge_keys is None:
@@ -336,6 +477,17 @@ class ReservoirKernel(VectorizedKernel):
     def prepare(self, graph: CSRGraph) -> None:
         if self.second_order:
             self._edge_keys = build_edge_keys(graph)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        if not self.second_order:
+            return {}
+        if self._edge_keys is None:
+            raise SamplingError("ReservoirKernel.prepare(graph) must run before exporting state")
+        return {"edge_keys": self._edge_keys}
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        if self.second_order:
+            self._edge_keys = arrays["edge_keys"]
 
     def sample(self, graph, current, previous, admissible_type, streams, stream_idx):
         degrees = graph.degrees()[current]

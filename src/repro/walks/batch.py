@@ -14,6 +14,12 @@ keying (``SeedSequence((seed, query_id))``), same :class:`EngineStats`
 counter semantics.  Statistical equivalence against the reference engine
 is enforced by chi-square tests; throughput is benchmarked by
 ``benchmarks/bench_batch_engine.py``.
+
+The module exposes two layers: :func:`run_walks_batch` is the
+``Query``-object API, and :func:`run_walks_batch_arrays` is the
+array-level core that the sharded parallel engine
+(:mod:`repro.parallel`) runs inside each worker process against a
+pre-prepared kernel.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import numpy as np
 
 from repro.errors import GraphError, WalkConfigError
 from repro.graph.csr import CSRGraph
-from repro.sampling.vectorized import QueryStreams, make_kernel
+from repro.sampling.vectorized import QueryStreams, VectorizedKernel, make_kernel
 from repro.walks.base import Query, WalkResults, WalkSpec
 from repro.walks.reference import EngineStats
 
@@ -35,50 +41,53 @@ _EARLY = 2
 _PROBABILISTIC = 3
 
 
-def run_walks_batch(
-    graph: CSRGraph,
-    spec: WalkSpec,
-    queries: Sequence[Query],
-    seed: int = 0,
-    stats: EngineStats | None = None,
-) -> WalkResults:
-    """Execute ``queries`` under ``spec`` with frontier supersteps.
+def check_batch_spec(spec: WalkSpec) -> None:
+    """Reject specs the vectorized engines cannot run faithfully.
 
-    Deterministic in ``seed`` and independent of query order, like the
-    reference engine; per-query paths are *statistically* equivalent to
-    the reference engine's, not bit-identical (the engines consume their
-    substreams in different patterns).
+    The batch engine applies probabilistic termination as one vectorized
+    draw per superstep, so it never calls the scalar
+    ``terminates_probabilistically()`` hook; any spec overriding that hook
+    may carry a termination rule ``termination_probability()`` does not
+    express, and running it here would silently drop it.  The parallel
+    engine shares this contract and calls the same check before sharding.
     """
     if type(spec).terminates_probabilistically is not WalkSpec.terminates_probabilistically:
-        # The batch engine applies probabilistic termination as one
-        # vectorized draw per superstep, so it never calls the scalar
-        # terminates_probabilistically() hook; any spec overriding that
-        # hook may carry a termination rule termination_probability()
-        # does not express, and running it here would silently drop it.
         raise WalkConfigError(
             f"{type(spec).__name__} overrides terminates_probabilistically(), which the "
             "batch engine never consults — express the rule via "
             "termination_probability() or use the reference engine"
         )
-    results = WalkResults()
-    num_queries = len(queries)
-    if num_queries == 0:
-        return results
 
-    sampler = spec.make_sampler()
-    kernel = make_kernel(sampler)
-    kernel.prepare(graph)
-    streams = QueryStreams(seed, [query.query_id for query in queries])
 
-    degrees = graph.degrees()
-    current = np.fromiter(
-        (query.start_vertex for query in queries), dtype=np.int64, count=num_queries
-    )
+def run_walks_batch_arrays(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    kernel: VectorizedKernel,
+    start_vertices: np.ndarray,
+    query_ids: np.ndarray,
+    seed: int = 0,
+    stats: EngineStats | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Superstep core: run walks for aligned start/id arrays.
+
+    ``kernel`` must already be prepared for ``graph`` (the caller owns
+    preparation so a worker pool can prepare once and run many shards).
+    Returns ``(paths, hops)`` where ``paths`` is a dense
+    ``(num_queries, width)`` int64 matrix whose row ``k`` holds the walk
+    of ``query_ids[k]`` in ``paths[k, :hops[k] + 1]``.  All
+    :class:`EngineStats` counters — including ``per_query_hops``, in the
+    order of the given arrays — are accumulated into ``stats``.
+    """
+    num_queries = int(start_vertices.size)
+    current = np.array(start_vertices, dtype=np.int64)
     if current.size and (current.min() < 0 or current.max() >= graph.num_vertices):
         bad = int(current[(current < 0) | (current >= graph.num_vertices)][0])
         raise GraphError(
             f"vertex {bad} out of range for graph with {graph.num_vertices} vertices"
         )
+    streams = QueryStreams(seed, query_ids)
+
+    degrees = graph.degrees()
     previous = np.full(num_queries, -1, dtype=np.int64)
     alive = np.ones(num_queries, dtype=bool)
     hops = np.zeros(num_queries, dtype=np.int64)
@@ -149,11 +158,6 @@ def run_walks_batch(
                 alive[ended] = False
                 cause[ended] = _PROBABILISTIC
 
-    for i in range(num_queries):
-        # Copy: a view would pin the whole (num_queries x capacity)
-        # buffer in memory for as long as any single path is alive.
-        results.add_path(paths[i, : hops[i] + 1].copy())
-
     if stats is not None:
         stats.total_hops += int(hops.sum())
         stats.per_query_hops.extend(int(h) for h in hops)
@@ -161,4 +165,39 @@ def run_walks_batch(
         stats.early_terminations += int(np.count_nonzero(cause == _EARLY))
         stats.probabilistic_terminations += int(np.count_nonzero(cause == _PROBABILISTIC))
         stats.length_terminations += int(np.count_nonzero(alive))
+    return paths, hops
+
+
+def run_walks_batch(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    queries: Sequence[Query],
+    seed: int = 0,
+    stats: EngineStats | None = None,
+) -> WalkResults:
+    """Execute ``queries`` under ``spec`` with frontier supersteps.
+
+    Deterministic in ``seed`` and independent of query order, like the
+    reference engine; per-query paths are *statistically* equivalent to
+    the reference engine's, not bit-identical (the engines consume their
+    substreams in different patterns).
+    """
+    check_batch_spec(spec)
+    results = WalkResults()
+    num_queries = len(queries)
+    if num_queries == 0:
+        return results
+
+    kernel = make_kernel(spec.make_sampler())
+    kernel.prepare(graph)
+    query_ids = np.fromiter(
+        (query.query_id for query in queries), dtype=np.int64, count=num_queries
+    )
+    starts = np.fromiter(
+        (query.start_vertex for query in queries), dtype=np.int64, count=num_queries
+    )
+    paths, hops = run_walks_batch_arrays(
+        graph, spec, kernel, starts, query_ids, seed=seed, stats=stats
+    )
+    results.extend_from_matrix(paths, hops)
     return results

@@ -1,0 +1,12 @@
+"""Test-suite root conftest: make shared helpers importable.
+
+The suite uses pytest's rootdir-based (no ``__init__.py``) layout, where
+only each test file's own directory lands on ``sys.path``; adding this
+directory explicitly lets every suite import shared helpers such as
+``stat_helpers`` without packaging the tests.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

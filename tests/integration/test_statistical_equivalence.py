@@ -9,7 +9,7 @@ pure-software reference engine's.
 
 import numpy as np
 import pytest
-from scipy import stats as scipy_stats
+from stat_helpers import chi_square_compare
 
 from repro.core import RidgeWalkerConfig, run_ridgewalker
 from repro.graph import from_edges, load_dataset
@@ -38,24 +38,6 @@ def config(**kw):
     defaults = dict(num_pipelines=4, memory=FAST_MEM, recirculation_depth=48)
     defaults.update(kw)
     return RidgeWalkerConfig(**defaults)
-
-
-def chi_square_compare(counts_a, counts_b, min_expected=5.0):
-    """Two-sample chi-square on visit histograms; returns the p-value."""
-    counts_a = np.asarray(counts_a, dtype=np.float64)
-    counts_b = np.asarray(counts_b, dtype=np.float64)
-    keep = (counts_a + counts_b) >= 2 * min_expected
-    if keep.sum() < 2:
-        pytest.skip("not enough populated bins for a chi-square test")
-    a, b = counts_a[keep], counts_b[keep]
-    total_a, total_b = a.sum(), b.sum()
-    pooled = (a + b) / (total_a + total_b)
-    expected_a = pooled * total_a
-    expected_b = pooled * total_b
-    chi2 = float((((a - expected_a) ** 2) / expected_a).sum()
-                 + (((b - expected_b) ** 2) / expected_b).sum())
-    dof = int(keep.sum() - 1)
-    return 1.0 - scipy_stats.chi2.cdf(chi2, dof)
 
 
 class TestVisitDistributions:

@@ -1,0 +1,94 @@
+"""Degree-aware shard planner: partition correctness, balance, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkConfigError
+from repro.graph import cycle_graph, from_edges, load_dataset, path_graph
+from repro.parallel.planner import expected_query_costs, plan_shards
+from repro.walks import PPRSpec, URWSpec
+
+
+class TestPlanShards:
+    def test_every_position_assigned_exactly_once(self):
+        costs = np.random.default_rng(1).uniform(0.5, 10.0, size=101)
+        shards = plan_shards(costs, 4)
+        merged = np.sort(np.concatenate(shards))
+        assert np.array_equal(merged, np.arange(costs.size))
+
+    def test_single_shard_is_identity(self):
+        shards = plan_shards(np.ones(5), 1)
+        assert len(shards) == 1
+        assert np.array_equal(shards[0], np.arange(5))
+
+    def test_more_shards_than_queries_leaves_empties(self):
+        shards = plan_shards(np.ones(2), 5)
+        sizes = sorted(shard.size for shard in shards)
+        assert sizes == [0, 0, 0, 1, 1]
+
+    def test_deterministic(self):
+        costs = np.random.default_rng(2).uniform(0.5, 10.0, size=64)
+        a = plan_shards(costs, 3)
+        b = plan_shards(costs, 3)
+        for sa, sb in zip(a, b):
+            assert np.array_equal(sa, sb)
+
+    def test_balances_heavy_tailed_costs(self):
+        # A few huge walks among many tiny ones: heaviest-first folded
+        # round-robin keeps the spread within one max-cost of perfect,
+        # where equal-count chunking (arrival order) would put all heavy
+        # items in one shard.
+        costs = np.array([100.0] * 4 + [1.0] * 96)
+        shards = plan_shards(costs, 4)
+        loads = [float(costs[s].sum()) for s in shards]
+        assert max(loads) - min(loads) <= 100.0
+        assert max(loads) <= np.ceil(costs.sum() / 4) + 100.0
+        heavy_per_shard = [int((costs[s] >= 100.0).sum()) for s in shards]
+        assert heavy_per_shard == [1, 1, 1, 1]
+
+    def test_rejects_no_shards(self):
+        with pytest.raises(WalkConfigError, match="num_shards"):
+            plan_shards(np.ones(3), 0)
+
+
+class TestExpectedQueryCosts:
+    def test_dangling_start_costs_base_only(self):
+        g = path_graph(3)  # vertex 2 dangles
+        costs = expected_query_costs(g, URWSpec(max_length=10), np.array([0, 2]))
+        assert costs[1] < costs[0]
+        assert costs[1] == pytest.approx(1.0)  # base cost, zero expected hops
+
+    def test_cycle_walks_run_full_length(self):
+        g = cycle_graph(6)  # no dangling vertices anywhere
+        spec = URWSpec(max_length=20)
+        costs = expected_query_costs(g, spec, np.arange(6))
+        assert np.allclose(costs, 1.0 + spec.max_length)
+
+    def test_termination_probability_shortens_expectation(self):
+        g = cycle_graph(6)
+        urw = expected_query_costs(g, URWSpec(max_length=100), np.array([0]))
+        ppr = expected_query_costs(g, PPRSpec(alpha=0.5, max_length=100), np.array([0]))
+        assert ppr[0] < urw[0]
+        # geometric with alpha=0.5 -> about 2 expected hops
+        assert ppr[0] == pytest.approx(1.0 + 2.0, rel=0.1)
+
+    def test_trailing_dangling_vertices_counted(self):
+        # Regression: vertex 0's neighbors (1 and 2) both dangle and sit
+        # at the end of the CSR arrays; the dangling fraction must still
+        # be 1.0, giving expected hops of exactly 1.
+        g = from_edges([(0, 1), (0, 2)], num_vertices=3)
+        costs = expected_query_costs(g, URWSpec(max_length=30), np.array([0]))
+        assert costs[0] == pytest.approx(2.0)  # base 1.0 + one certain hop
+
+    def test_degree_aware_first_hop(self):
+        # Start 0 has one neighbor that dangles; start 3 has one neighbor
+        # that continues. Expected hops from 0 must be lower.
+        g = from_edges([(0, 1), (3, 4), (4, 3)], num_vertices=5)
+        costs = expected_query_costs(g, URWSpec(max_length=30), np.array([0, 3]))
+        assert costs[0] < costs[1]
+
+    def test_costs_positive_for_all_starts(self):
+        g = load_dataset("WG", scale=0.1, seed=1)
+        costs = expected_query_costs(g, URWSpec(max_length=15), np.arange(g.num_vertices))
+        assert (costs >= 1.0).all()
+        assert np.isfinite(costs).all()

@@ -21,7 +21,46 @@ from repro.sampling.vectorized import (
     UniformKernel,
     build_edge_keys,
     edges_exist,
+    seed_sequence_states,
 )
+
+
+class TestSeedSequenceStates:
+    """The batched derivation must be bit-exact SeedSequence((seed, qid))."""
+
+    def _oracle(self, seed, query_ids):
+        return np.array(
+            [np.random.SeedSequence((seed, int(q))).generate_state(1, dtype=np.uint64)[0]
+             for q in query_ids],
+            dtype=np.uint64,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 12345, 2**32 - 1, 2**32, 2**63 - 1, 2**64 - 1])
+    def test_bit_exact_vs_seed_sequence(self, seed):
+        ids = [0, 1, 2, 1000, 2**31, 2**32 - 1, 2**32, 2**32 + 7, 2**48, 2**63 - 1]
+        assert np.array_equal(seed_sequence_states(seed, ids), self._oracle(seed, ids))
+
+    def test_bit_exact_on_random_ids(self):
+        rng = np.random.default_rng(9)
+        ids = np.concatenate([
+            rng.integers(0, 2**32, 200), rng.integers(2**32, 2**63, 50)
+        ]).astype(np.uint64)
+        assert np.array_equal(seed_sequence_states(7, ids), self._oracle(7, ids))
+
+    def test_empty(self):
+        assert seed_sequence_states(1, []).size == 0
+
+    def test_negative_seed_normalized_not_hung(self):
+        # Regression: a negative seed must be masked like normalize_seed
+        # does (a raw negative int would loop forever in word coercion).
+        masked = (-3) & (2**64 - 1)
+        assert np.array_equal(
+            seed_sequence_states(-3, [0, 5]), seed_sequence_states(masked, [0, 5])
+        )
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(SamplingError, match="non-negative"):
+            seed_sequence_states(1, [-1])
 
 
 class TestQueryStreams:

@@ -1,0 +1,26 @@
+"""Statistical helpers shared across engine-equivalence test suites.
+
+Importable from any test module because ``tests/conftest.py`` puts this
+directory on ``sys.path``; keeping one copy of the oracle means a tuning
+change (binning rule, significance floor) cannot silently leave two
+suites testing different statistics.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+
+def chi_square_compare(counts_a, counts_b, min_expected=5.0):
+    """Two-sample chi-square on visit histograms; returns the p-value."""
+    counts_a = np.asarray(counts_a, dtype=np.float64)
+    counts_b = np.asarray(counts_b, dtype=np.float64)
+    keep = (counts_a + counts_b) >= 2 * min_expected
+    if keep.sum() < 2:
+        pytest.skip("not enough populated bins for a chi-square test")
+    a, b = counts_a[keep], counts_b[keep]
+    total_a, total_b = a.sum(), b.sum()
+    pooled = (a + b) / (total_a + total_b)
+    chi2 = float((((a - pooled * total_a) ** 2) / (pooled * total_a)).sum()
+                 + (((b - pooled * total_b) ** 2) / (pooled * total_b)).sum())
+    return 1.0 - scipy_stats.chi2.cdf(chi2, int(keep.sum() - 1))

@@ -95,12 +95,63 @@ class TestWalkResults:
         r.add_path([5, 6])
         assert r.path_of(0).tolist() == [5, 6]
 
+    def test_extend_from_matrix(self):
+        r = WalkResults()
+        matrix = np.array([[0, 1, 2, 9], [3, 9, 9, 9], [4, 5, 9, 9]])
+        r.extend_from_matrix(matrix, np.array([2, 0, 1]))
+        assert r.num_queries == 3
+        assert r.total_steps == 3
+        assert r.path_of(0).tolist() == [0, 1, 2]
+        assert r.path_of(1).tolist() == [3]
+        assert r.path_of(2).tolist() == [4, 5]
+
+    def test_extend_from_matrix_appends_after_add_path(self):
+        r = WalkResults()
+        r.add_path([7, 8])
+        r.extend_from_matrix(np.array([[1, 2]]), np.array([1]))
+        assert r.num_queries == 2
+        assert r.total_steps == 2
+        assert r.path_of(1).tolist() == [1, 2]
+
+    def test_extend_from_matrix_matches_add_path_loop(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 50, size=(20, 9))
+        hops = rng.integers(0, 9, size=20)
+        bulk, loop = WalkResults(), WalkResults()
+        bulk.extend_from_matrix(matrix, hops)
+        for i in range(20):
+            loop.add_path(matrix[i, : hops[i] + 1])
+        assert bulk.total_steps == loop.total_steps
+        for a, b in zip(bulk.paths, loop.paths):
+            assert np.array_equal(a, b)
+
+    def test_extend_from_matrix_empty(self):
+        r = WalkResults()
+        r.extend_from_matrix(np.empty((0, 3), dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert r.num_queries == 0 and r.total_steps == 0
+
+    def test_extend_from_matrix_validates_shapes(self):
+        r = WalkResults()
+        with pytest.raises(WalkConfigError):
+            r.extend_from_matrix(np.zeros((2, 3), dtype=np.int64), np.zeros(3, dtype=np.int64))
+        with pytest.raises(WalkConfigError):
+            r.extend_from_matrix(np.zeros((2, 3), dtype=np.int64), np.array([1, 3]))
+
 
 class TestSpecValidation:
     def test_max_length_positive(self):
         for spec_cls in (URWSpec, DeepWalkSpec):
             with pytest.raises(WalkConfigError):
                 spec_cls(max_length=0)
+
+    def test_max_length_validated_on_reassignment(self):
+        # The CLI and benchmarks re-assign max_length to apply --length;
+        # a bad value must fail there as a config error too.
+        spec = URWSpec(max_length=5)
+        with pytest.raises(WalkConfigError):
+            spec.max_length = 0
+        spec.max_length = 7
+        assert spec.max_length == 7
 
     def test_ppr_alpha_range(self):
         with pytest.raises(WalkConfigError):

@@ -9,7 +9,7 @@ hardware simulator is held to).
 
 import numpy as np
 import pytest
-from scipy import stats as scipy_stats
+from stat_helpers import chi_square_compare
 
 from repro.errors import SamplingError
 from repro.graph import cycle_graph, from_edges, load_dataset, path_graph
@@ -27,21 +27,6 @@ from repro.walks import (
     run_walks,
     run_walks_batch,
 )
-
-
-def chi_square_compare(counts_a, counts_b, min_expected=5.0):
-    """Two-sample chi-square on visit histograms; returns the p-value."""
-    counts_a = np.asarray(counts_a, dtype=np.float64)
-    counts_b = np.asarray(counts_b, dtype=np.float64)
-    keep = (counts_a + counts_b) >= 2 * min_expected
-    if keep.sum() < 2:
-        pytest.skip("not enough populated bins for a chi-square test")
-    a, b = counts_a[keep], counts_b[keep]
-    total_a, total_b = a.sum(), b.sum()
-    pooled = (a + b) / (total_a + total_b)
-    chi2 = float((((a - pooled * total_a) ** 2) / (pooled * total_a)).sum()
-                 + (((b - pooled * total_b) ** 2) / (pooled * total_b)).sum())
-    return 1.0 - scipy_stats.chi2.cdf(chi2, int(keep.sum() - 1))
 
 
 class TestBasicSemantics:
@@ -114,13 +99,19 @@ class TestBasicSemantics:
             results = runner(g, URWSpec(max_length=5), [Query(0, 5)], seed=-3)
             assert results.num_queries == 1
 
-    def test_paths_do_not_alias_internal_buffer(self):
+    def test_paths_do_not_pin_superstep_buffer(self):
         # Regression: returning views into the (num_queries x capacity)
-        # buffer would pin it in memory for the lifetime of any path.
+        # superstep buffer would pin its padding in memory for the
+        # lifetime of any path.  Paths may share a *compact* buffer, but
+        # that buffer must hold exactly the path data and nothing more.
         g = cycle_graph(5)
         results = run_walks_batch(g, URWSpec(max_length=4), [Query(0, 0), Query(1, 1)], seed=1)
+        expected_entries = results.total_steps + results.num_queries
         for path in results.paths:
-            assert path.base is None
+            base = path
+            while base.base is not None:
+                base = base.base
+            assert base.size <= expected_entries
 
     def test_every_hop_follows_an_edge(self):
         g = load_dataset("CP", scale=0.1, seed=1)
