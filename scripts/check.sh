@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 test suite plus engine smoke benchmarks — the batch
-# engine must beat the reference loop on a 10k-query RMAT workload, and
-# the sharded parallel engine (2 workers, small graph) must produce
-# bit-identical results to the batch engine.  (The machine-readable
-# BENCH_*.json perf records are rewritten by the *full* benchmark runs,
-# not by these smokes.)
+# engine must beat the reference loop on a 10k-query RMAT workload, the
+# sharded parallel engine (2 workers, small graph) must produce
+# bit-identical results to the batch engine, and the async walk service
+# must shed zero requests under nominal open-loop load while replaying
+# bit-identically offline.  (The machine-readable BENCH_*.json perf
+# records are rewritten by the *full* benchmark runs, not by these
+# smokes.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,3 +22,7 @@ python benchmarks/bench_batch_engine.py --smoke
 echo
 echo "== parallel engine smoke (2 workers) =="
 python benchmarks/bench_parallel_engine.py --smoke
+
+echo
+echo "== serve smoke (zero drops at nominal load, bit-identical replay) =="
+python benchmarks/bench_serve.py --smoke

@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the workflows a downstream user reaches for first:
+Four commands cover the workflows a downstream user reaches for first:
 
 * ``walk`` — run a GRW workload on the simulated accelerator and print
   throughput/utilization (optionally from a graph file);
+* ``serve-bench`` — drive the async walk service with an open-loop
+  (Poisson or saturation) request workload and print serving metrics;
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (the same registry the benchmark suite uses);
 * ``info`` — list datasets, algorithms, devices and experiment ids.
@@ -85,6 +87,42 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--trace", action="store_true",
                       help="print per-pipeline utilization timelines "
                       "(streaming mode only)")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the async walk service with an open-loop workload",
+        description="Serve individual walk requests through the micro-batching "
+        "walk service (repro.serve) under an open-loop arrival process and "
+        "report latency percentiles, micro-batch shape, and sustained "
+        "throughput.",
+    )
+    serve.add_argument("--algorithm", choices=ALGORITHMS, default="DeepWalk")
+    serve.add_argument("--engine", choices=("batch", "parallel", "reference"),
+                       default="batch",
+                       help="execution engine behind the service (default batch)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes (parallel engine only)")
+    serve.add_argument("--dataset", default="WG",
+                       help=f"Table II dataset ({', '.join(dataset_names())}) or "
+                       "a path to a .npz / edge-list graph file")
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="open-loop requests to offer")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="Poisson arrival rate in requests/sec; <= 0 means "
+                       "back-to-back saturation arrivals (default)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch flush size")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch flush deadline after first request")
+    serve.add_argument("--depth", type=int, default=None,
+                       help="admission high-water (outstanding requests); "
+                       "default: large enough to never shed this workload — "
+                       "size real deployments with "
+                       "repro.serve.recommended_queue_depth")
+    serve.add_argument("--length", type=int, default=80)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale multiplier")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS),
@@ -187,6 +225,53 @@ def cmd_walk(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Open-loop serving benchmark: one service, one arrival schedule."""
+    import numpy as np
+
+    from repro.serve import ServeConfig, WalkService, serve_open_loop
+
+    args.seed = normalize_seed(args.seed)
+    if args.workers is not None and args.engine != "parallel":
+        raise WalkConfigError(
+            "--workers only applies to the parallel engine; drop it or use "
+            "--engine parallel"
+        )
+    graph = _load_graph(args)
+    spec = make_spec(args.algorithm)
+    spec.max_length = args.length
+    queries = make_queries(graph, args.requests, seed=args.seed + 1)
+    starts = np.fromiter((q.start_vertex for q in queries), dtype=np.int64,
+                         count=len(queries))
+    # The CLI default never sheds: sizing a real deployment's depth is
+    # recommended_queue_depth's job, and it needs a measured service rate.
+    depth = args.depth or max(2 * args.max_batch, args.requests)
+    config = ServeConfig(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                         queue_depth=depth)
+
+    print(f"graph: {graph}")
+    print(f"workload: {args.algorithm}, {args.requests} requests, "
+          f"length {args.length}, "
+          + (f"Poisson {args.rate:,.0f} req/s" if args.rate > 0
+             else "saturation arrivals"))
+    print(f"service: engine={args.engine}, max_batch={args.max_batch}, "
+          f"max_wait={args.max_wait_ms}ms, depth={depth}")
+
+    engine_options = {"workers": args.workers} if args.engine == "parallel" else {}
+    report, service = serve_open_loop(
+        lambda: WalkService(graph, spec, engine=args.engine,
+                            seed=args.seed + 2, config=config, **engine_options),
+        starts,
+        rate_per_second=args.rate,
+        arrival_seed=args.seed + 3,
+    )
+    print()
+    print(service.stats.summary())
+    if report.dropped:
+        print(f"shed request ids (first 10): {report.dropped[:10]}")
+    return 0
+
+
 def cmd_experiment(args) -> int:
     result = EXPERIMENTS[args.id]()
     print(result.to_table())
@@ -203,7 +288,8 @@ def cmd_info(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"walk": cmd_walk, "experiment": cmd_experiment, "info": cmd_info}
+    handlers = {"walk": cmd_walk, "serve-bench": cmd_serve_bench,
+                "experiment": cmd_experiment, "info": cmd_info}
     try:
         return handlers[args.command](args)
     except ReproError as exc:

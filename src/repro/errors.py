@@ -59,3 +59,23 @@ class ResourceModelError(ReproError):
 
 class BenchmarkError(ReproError):
     """An experiment harness was invoked with an unknown id or bad config."""
+
+
+class ServeError(ReproError):
+    """The walk-serving layer was misconfigured or used while stopped."""
+
+
+class ServeOverloadError(ServeError):
+    """A request was shed because the service hit its admission high-water.
+
+    Carries the occupancy the gate observed so callers (and the open-loop
+    benchmark) can report how far past capacity the offered load was.
+    """
+
+    def __init__(self, occupancy: int, high_water: int) -> None:
+        self.occupancy = occupancy
+        self.high_water = high_water
+        super().__init__(
+            f"request shed: {occupancy} requests outstanding >= "
+            f"high-water mark {high_water}"
+        )

@@ -28,17 +28,28 @@ class InverseTransformSampler(Sampler):
     ) -> SampleOutcome:
         degree = self._require_degree(graph, context.vertex)
         weights = graph.neighbor_weights(context.vertex)
-        total = float(weights.sum())
-        target = random_source.uniform() * total
-        cumulative = 0.0
-        reads = 0
-        for i in range(degree):
-            reads += 1
-            cumulative += float(weights[i])
-            if target < cumulative:
-                return SampleOutcome(index=i, proposals=1, neighbor_reads=reads)
-        # Floating point round-off can leave target == total; take the last.
-        return SampleOutcome(index=degree - 1, proposals=1, neighbor_reads=reads)
+        # cumsum + searchsorted replaces the Python accumulation loop with
+        # two array ops.  np.cumsum sums float64 sequentially (no pairwise
+        # reordering), so the prefix sums match the scalar loop's running
+        # total bit-for-bit; the target keeps the loop's own scaling —
+        # ``weights.sum()`` (NumPy pairwise), *not* ``cumulative[-1]``
+        # (sequential) — because the two totals can differ in the last
+        # ulp at higher degrees, which would flip draws landing exactly
+        # on a CDF boundary.
+        cumulative = np.cumsum(weights, dtype=np.float64)
+        target = random_source.uniform() * float(weights.sum())
+        # First entry whose running total exceeds the target, i.e. the
+        # scalar loop's "target < cumulative" exit.
+        index = int(np.searchsorted(cumulative, target, side="right"))
+        if index >= degree:
+            # Floating point round-off can leave target == total; take the
+            # last (the scalar loop fell off the scan having read all).
+            index = degree - 1
+        # neighbor_reads keeps the sequential-scan accounting: a CDF scan
+        # that stops at ``index`` has read ``index + 1`` weights.  The
+        # baseline cost models consume this, so the vectorization must not
+        # change what a "read" means.
+        return SampleOutcome(index=index, proposals=1, neighbor_reads=index + 1)
 
 
 def exact_distribution(graph: CSRGraph, vertex: int) -> np.ndarray:

@@ -1,0 +1,32 @@
+"""Async walk-serving layer: open-queue ingest over the closed-batch engines.
+
+``WalkService`` coalesces individual walk requests into dynamic
+micro-batches and executes them on a prepared engine; admission control
+sheds past a queueing-model-sized high-water mark; ``ServeStats``
+records tail latency, batch shape, and sustained throughput.  The
+service is a scheduling layer only — per-request determinism
+(``SeedSequence((seed, query_id))``) survives any batching.
+"""
+
+from repro.serve.admission import AdmissionGate, recommended_queue_depth
+from repro.serve.service import ServeConfig, WalkService, replay_paths
+from repro.serve.stats import ServeStats
+from repro.serve.workload import (
+    OpenLoopReport,
+    arrival_gaps,
+    run_open_loop,
+    serve_open_loop,
+)
+
+__all__ = [
+    "AdmissionGate",
+    "OpenLoopReport",
+    "ServeConfig",
+    "ServeStats",
+    "WalkService",
+    "arrival_gaps",
+    "recommended_queue_depth",
+    "replay_paths",
+    "run_open_loop",
+    "serve_open_loop",
+]

@@ -1,0 +1,388 @@
+"""Asyncio walk service: open-queue ingest, dynamic micro-batching.
+
+The engines in :mod:`repro.engines` run *closed* batches: every query is
+known up front, the engine runs to completion, the caller gets one
+``WalkResults``.  Serving is an *open* system — requests arrive one at a
+time, continuously — and the throughput gap between the two shapes is
+exactly what dynamic micro-batching closes: the service coalesces
+individual requests from an asyncio queue into micro-batches (flushed on
+``max_batch`` or ``max_wait_ms``, whichever comes first) and executes
+each micro-batch as one closed run on a prepared engine, while the event
+loop keeps admitting and coalescing the *next* batch.  That overlap is
+the software analogue of RidgeWalker's perfectly pipelined ingest: the
+engine never waits for the batcher, the batcher never waits for the
+engine.
+
+The service is a scheduling layer, never a semantics layer.  Every
+request's randomness is keyed by ``SeedSequence((seed, query_id))`` —
+the engines' own per-query substream derivation — so a request's paths
+are bit-identical whether it was served alone, inside a micro-batch of
+64, or replayed offline through ``run_walks_batch`` with the same seed.
+Batch composition, flush timing, and engine choice (among the
+bit-compatible ``batch``/``parallel`` pair) cannot change a single
+vertex; ``tests/serve/`` holds the service to that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.engines import PreparedEngine, prepare_engine
+from repro.errors import GraphError, ServeError, ServeOverloadError
+from repro.graph.csr import CSRGraph
+from repro.sampling.base import normalize_seed
+from repro.serve.admission import AdmissionGate
+from repro.serve.stats import ServeStats
+from repro.walks.base import Query, WalkResults, WalkSpec
+from repro.walks.reference import EngineStats
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Micro-batching and admission knobs.
+
+    ``max_batch``
+        Flush a micro-batch as soon as it holds this many requests.
+    ``max_wait_ms``
+        Flush a non-empty micro-batch this long after its first request,
+        even if it is not full — the latency ceiling batching may add.
+    ``queue_depth``
+        Admission high-water: requests outstanding (queued, coalescing,
+        or executing) beyond which new arrivals are shed with
+        ``ServeOverloadError``.  Size it with
+        :func:`repro.serve.admission.recommended_queue_depth`.
+    ``max_inflight``
+        Micro-batches allowed to execute concurrently.  1 (the default)
+        already pipelines — batch N+1 coalesces while batch N executes;
+        raise it only for engines that multiplex well internally.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_depth: int = 256
+    max_inflight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ServeError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_depth < 1:
+            raise ServeError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {self.max_inflight}")
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted request waiting for (or undergoing) execution."""
+
+    query: Query
+    future: asyncio.Future
+    submitted_at: float
+
+
+def _merge_engine_stats(into: EngineStats, part: EngineStats) -> None:
+    """Fold one micro-batch's engine counters into the service total."""
+    into.total_hops += part.total_hops
+    into.sampling_proposals += part.sampling_proposals
+    into.neighbor_reads += part.neighbor_reads
+    into.early_terminations += part.early_terminations
+    into.dangling_terminations += part.dangling_terminations
+    into.probabilistic_terminations += part.probabilistic_terminations
+    into.length_terminations += part.length_terminations
+    into.per_query_hops.extend(part.per_query_hops)
+
+
+class WalkService:
+    """Open-queue walk server over a prepared engine.
+
+    Lifecycle: ``await start()`` (or ``async with``), then any number of
+    ``await submit(...)`` / ``try_submit(...)`` calls from the event
+    loop, then ``await stop()`` — which by default drains everything
+    already admitted before tearing down the dispatcher, the executor
+    thread(s), and the prepared engine.
+
+    ``engine`` is a registry name (``"batch"``, ``"parallel"``,
+    ``"reference"``) resolved through
+    :func:`repro.engines.prepare_engine`, or an already-constructed
+    :class:`~repro.engines.PreparedEngine`; either way the service owns
+    it and closes it on :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: WalkSpec,
+        engine: str | PreparedEngine = "batch",
+        seed: int = 0,
+        config: ServeConfig | None = None,
+        **engine_options,
+    ) -> None:
+        self._config = config or ServeConfig()
+        self._seed = normalize_seed(seed)
+        if isinstance(engine, PreparedEngine):
+            if engine_options:
+                raise ServeError(
+                    "engine options only apply when the service builds the "
+                    "engine; pass them to prepare_engine instead"
+                )
+            self._runner = engine
+        else:
+            self._runner = prepare_engine(engine, graph, spec, **engine_options)
+        self._num_vertices = graph.num_vertices
+        self.stats = ServeStats()
+        self.engine_stats = EngineStats()
+        self._gate = AdmissionGate(self._config.queue_depth)
+        self._queue: asyncio.Queue[_PendingRequest] | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._inflight: asyncio.Semaphore | None = None
+        self._drained: asyncio.Event | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._next_query_id = 0
+        self._accepting = False
+
+    @property
+    def config(self) -> ServeConfig:
+        return self._config
+
+    @property
+    def seed(self) -> int:
+        """The service seed; replaying a request offline with this seed
+        and its query id reproduces its paths bit-for-bit."""
+        return self._seed
+
+    @property
+    def engine_name(self) -> str:
+        return self._runner.name
+
+    @property
+    def occupancy(self) -> int:
+        """Requests admitted and not yet resolved."""
+        return self._gate.occupancy
+
+    async def start(self) -> None:
+        """Bring up the dispatcher; idempotent while running."""
+        if self._accepting:
+            return
+        self._queue = asyncio.Queue()
+        self._inflight = asyncio.Semaphore(self._config.max_inflight)
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.max_inflight,
+            thread_name_prefix="walk-serve",
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._accepting = True
+
+    async def stop(self, drain: bool = True) -> None:
+        """Tear the service down.
+
+        With ``drain`` (the default), already-admitted requests are
+        executed and resolved first; without it, the dispatcher is
+        cancelled immediately and unexecuted requests get
+        :class:`ServeError` so no caller hangs on a future that will
+        never resolve.
+        """
+        if self._queue is None:
+            # Never started (or already stopped): the prepared engine was
+            # still built eagerly in __init__ — a parallel engine holds a
+            # worker pool and a shared-memory segment — so release it
+            # rather than leak it.  Engine close is idempotent.
+            self._runner.close()
+            return
+        self._accepting = False
+        if drain:
+            await self._drained.wait()
+        assert self._dispatcher is not None
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        for task in list(self._batch_tasks):
+            await task
+        if not drain:
+            abandoned = 0
+            while not self._queue.empty():
+                request = self._queue.get_nowait()
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("service stopped before the request executed")
+                    )
+                abandoned += 1
+            self._gate.release(abandoned)
+            if self._gate.occupancy == 0:
+                self._drained.set()
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._runner.close()
+        self._queue = None
+        self._dispatcher = None
+        self._executor = None
+
+    async def __aenter__(self) -> "WalkService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def try_submit(
+        self, start_vertex: int, query_id: int | None = None
+    ) -> asyncio.Future:
+        """Admit one walk request; return the future of its results.
+
+        Sheds with :class:`~repro.errors.ServeOverloadError` past the
+        admission high-water (the error carries the observed occupancy).
+        ``query_id`` defaults to a monotonically assigned id; pass one
+        explicitly to make the request replayable offline by
+        ``(service seed, query_id)``.
+        """
+        if not self._accepting or self._queue is None:
+            raise ServeError("service is not running; use 'async with' or start()")
+        if query_id is None:
+            query_id = self._next_query_id
+        # Validate before admitting: a request that can only fail must be
+        # rejected here, at its own call site, not discovered mid-batch
+        # where the engine error would poison co-batched requests.
+        query = Query(query_id, start_vertex)
+        if start_vertex >= self._num_vertices:
+            raise GraphError(
+                f"vertex {start_vertex} out of range for graph with "
+                f"{self._num_vertices} vertices"
+            )
+        try:
+            self._gate.admit()
+        except ServeOverloadError:
+            self.stats.record_drop()
+            raise
+        # Only advance the auto-id counter for admitted requests, and keep
+        # it ahead of explicit ids so mixed usage cannot collide.
+        self._next_query_id = max(self._next_query_id, query_id + 1)
+        assert self._drained is not None
+        self._drained.clear()
+        now = asyncio.get_running_loop().time()
+        self.stats.record_submit(now)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(_PendingRequest(query, future, now))
+        return future
+
+    async def submit(
+        self, start_vertex: int, query_id: int | None = None
+    ) -> WalkResults:
+        """Admit one request and await its :class:`WalkResults` slice."""
+        return await self.try_submit(start_vertex, query_id=query_id)
+
+    async def _dispatch_loop(self) -> None:
+        """Coalesce requests into micro-batches and hand them off.
+
+        Flush policy: the batch opens when its first request arrives and
+        closes at ``max_batch`` requests or ``max_wait_ms`` later,
+        whichever comes first.  The hand-off acquires the inflight
+        semaphore, so with ``max_inflight=1`` the loop collects batch
+        N+1 while batch N executes — coalescing rides in the engine's
+        shadow instead of adding latency to it.
+        """
+        assert self._queue is not None and self._inflight is not None
+        loop = asyncio.get_running_loop()
+        max_wait = self._config.max_wait_ms / 1e3
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            try:
+                deadline = loop.time() + max_wait
+                while len(batch) < self._config.max_batch:
+                    # Fast path: drain everything already queued without
+                    # touching the event loop.  A timed wait costs tens of
+                    # microseconds (timer + wakeup per call); under a
+                    # burst that overhead would eat the coalescing window
+                    # and flush chronically under-filled batches.
+                    try:
+                        batch.append(self._queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        pass
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                await self._inflight.acquire()
+            except asyncio.CancelledError:
+                # Cancelled mid-coalesce (a no-drain stop): hand the
+                # partial batch back to the queue so stop() can fail its
+                # futures instead of leaving callers hanging.
+                for request in batch:
+                    self._queue.put_nowait(request)
+                raise
+            task = asyncio.create_task(self._execute(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _execute(self, batch: list[_PendingRequest]) -> None:
+        """Run one micro-batch on the engine and resolve its futures."""
+        assert self._inflight is not None and self._drained is not None
+        loop = asyncio.get_running_loop()
+        queries = [request.query for request in batch]
+        batch_stats = EngineStats()
+        started = loop.time()
+        try:
+            results = await loop.run_in_executor(
+                self._executor,
+                partial(self._runner.run, queries, seed=self._seed, stats=batch_stats),
+            )
+        except Exception as exc:
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        finally:
+            now = loop.time()
+            self._inflight.release()
+            self.stats.record_batch(
+                len(batch), batch_stats.total_hops, now - started
+            )
+            _merge_engine_stats(self.engine_stats, batch_stats)
+            self._gate.release(len(batch))
+            if self._gate.occupancy == 0:
+                self._drained.set()
+        for position, request in enumerate(batch):
+            if not request.future.done():
+                request.future.set_result(results.subset([position]))
+            self.stats.record_completion(now - request.submitted_at, now)
+
+
+def replay_paths(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    requests: dict[int, int],
+    seed: int,
+) -> dict[int, np.ndarray]:
+    """Offline oracle for served requests: ``{query_id: path}``.
+
+    Runs ``{query_id: start_vertex}`` through ``run_walks_batch`` with
+    the service seed, in one closed batch.  A correct service returns
+    exactly these paths regardless of how its micro-batching happened to
+    slice the request stream — the determinism contract the serve tests
+    and the CI smoke assert.
+    """
+    from repro.walks.batch import run_walks_batch
+
+    queries = [Query(query_id, start) for query_id, start in sorted(requests.items())]
+    results = run_walks_batch(graph, spec, queries, seed=seed)
+    return {
+        query.query_id: results.path_of(position)
+        for position, query in enumerate(queries)
+    }

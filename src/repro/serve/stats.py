@@ -1,0 +1,135 @@
+"""Serving-side observability: latency, micro-batch shape, throughput.
+
+:class:`ServeStats` is the service's passive ledger.  The event loop
+stamps every request on submission and completion (monotonic loop time)
+and records every micro-batch it dispatches; the record answers the
+questions an operator asks of an open system — tail latency (p50/p95/p99),
+how well the batcher is coalescing (micro-batch size histogram), and the
+sustained hop throughput between the first arrival and the last
+completion.  Engine-side counters (proposals, neighbor reads,
+termination causes) stay in :class:`~repro.walks.EngineStats`; this
+module only covers what the *service* adds on top of the engine.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The latency quantiles every summary reports, in ascending order.
+LATENCY_QUANTILES = (50, 95, 99)
+
+
+@dataclass
+class ServeStats:
+    """Counters and samples accumulated while a :class:`WalkService` runs.
+
+    Timestamps are caller-provided (the service passes ``loop.time()``)
+    so the record is testable without patching clocks; all durations are
+    seconds.
+    """
+
+    completed: int = 0
+    dropped: int = 0
+    total_hops: int = 0
+    #: Wall-clock engine time summed over micro-batches (busy time).
+    busy_seconds: float = 0.0
+    #: Per-request submit-to-resolve latency samples.
+    latencies: list[float] = field(default_factory=list)
+    #: Size of every dispatched micro-batch, in dispatch order.
+    batch_sizes: list[int] = field(default_factory=list)
+    first_submit: float | None = None
+    last_completion: float | None = None
+
+    def record_submit(self, now: float) -> None:
+        """Note an admitted request's arrival time."""
+        if self.first_submit is None or now < self.first_submit:
+            self.first_submit = now
+
+    def record_drop(self) -> None:
+        """Note a request shed by admission control."""
+        self.dropped += 1
+
+    def record_batch(self, size: int, hops: int, service_seconds: float) -> None:
+        """Note one executed micro-batch."""
+        self.batch_sizes.append(int(size))
+        self.total_hops += int(hops)
+        self.busy_seconds += float(service_seconds)
+
+    def record_completion(self, latency: float, now: float) -> None:
+        """Note one resolved request."""
+        self.completed += 1
+        self.latencies.append(float(latency))
+        if self.last_completion is None or now > self.last_completion:
+            self.last_completion = now
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in seconds (NaN if empty)."""
+        if not self.latencies:
+            return {f"p{q}": float("nan") for q in LATENCY_QUANTILES}
+        samples = np.asarray(self.latencies, dtype=np.float64)
+        values = np.percentile(samples, LATENCY_QUANTILES)
+        return {f"p{q}": float(v) for q, v in zip(LATENCY_QUANTILES, values)}
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        """``{micro-batch size: count}``, ascending by size."""
+        return dict(sorted(Counter(self.batch_sizes).items()))
+
+    def mean_batch_size(self) -> float:
+        """Average micro-batch occupancy (NaN before the first dispatch)."""
+        if not self.batch_sizes:
+            return float("nan")
+        return float(np.mean(self.batch_sizes))
+
+    def sustained_hops_per_second(self) -> float:
+        """Hops over the open interval first-submit -> last-completion.
+
+        This is the open-system throughput the acceptance criterion
+        compares against the closed-batch engine: it charges the service
+        for queueing and batching gaps, not just engine busy time.
+        """
+        if self.first_submit is None or self.last_completion is None:
+            return 0.0
+        elapsed = self.last_completion - self.first_submit
+        return self.total_hops / elapsed if elapsed > 0 else float("inf")
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (the shape ``BENCH_serve.json`` embeds)."""
+        percentiles = self.latency_percentiles()
+        return {
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "total_hops": self.total_hops,
+            "latency_ms": {
+                key: round(value * 1e3, 3) if np.isfinite(value) else None
+                for key, value in percentiles.items()
+            },
+            "batch_size_histogram": {
+                str(size): count for size, count in self.batch_size_histogram().items()
+            },
+            "mean_batch_size": (
+                round(self.mean_batch_size(), 2) if self.batch_sizes else None
+            ),
+            "sustained_hops_per_sec": round(self.sustained_hops_per_second()),
+            "busy_seconds": round(self.busy_seconds, 4),
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-stop report (CLI output)."""
+        percentiles = self.latency_percentiles()
+        latency = ", ".join(
+            f"{key} {value * 1e3:.2f}ms" if np.isfinite(value) else f"{key} n/a"
+            for key, value in percentiles.items()
+        )
+        histogram = self.batch_size_histogram()
+        shape = ", ".join(f"{size}x{count}" for size, count in histogram.items())
+        return (
+            f"served {self.completed} requests ({self.dropped} shed), "
+            f"{self.total_hops} hops, "
+            f"{self.sustained_hops_per_second():,.0f} hops/s sustained\n"
+            f"latency: {latency}\n"
+            f"micro-batches: {len(self.batch_sizes)} dispatched, "
+            f"mean size {self.mean_batch_size():.1f} [size x count: {shape}]"
+        )

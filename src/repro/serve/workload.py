@@ -1,0 +1,127 @@
+"""Open-loop arrival workloads for driving a :class:`WalkService`.
+
+A *closed-loop* client waits for each response before sending the next
+request, which lets a slow server set the pace and hides its queueing
+behaviour.  The serving benchmarks instead use *open-loop* arrivals: a
+request schedule is drawn up front (Poisson inter-arrival gaps at a
+given rate, or back-to-back for a saturation run) and submitted on
+schedule regardless of completions — the shape under which tail latency,
+micro-batch coalescing, and admission shedding actually show themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServeOverloadError, WalkConfigError
+from repro.serve.service import WalkService
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one open-loop run against a service.
+
+    ``paths`` maps each *completed* request's query id to its walk; shed
+    requests appear in ``dropped`` instead.  Service-side metrics
+    (latency percentiles, batch histogram, sustained hops/s) live on the
+    service's own ``stats`` — this report carries the client's view.
+    """
+
+    offered: int = 0
+    paths: dict[int, np.ndarray] = field(default_factory=dict)
+    dropped: list[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return len(self.paths)
+
+
+def arrival_gaps(count: int, rate_per_second: float, seed: int = 0) -> np.ndarray:
+    """Inter-arrival gaps (seconds) for ``count`` open-loop requests.
+
+    Poisson arrivals at ``rate_per_second``; a non-positive rate means
+    back-to-back submission (all gaps zero — the saturation workload).
+    Drawn from their own ``default_rng(seed)`` so the arrival process is
+    reproducible and independent of the walk randomness.
+    """
+    if count < 1:
+        raise WalkConfigError(f"count must be >= 1, got {count}")
+    if rate_per_second <= 0:
+        return np.zeros(count, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    return rng.exponential(1.0 / rate_per_second, size=count)
+
+
+async def run_open_loop(
+    service: WalkService,
+    start_vertices: np.ndarray,
+    rate_per_second: float = 0.0,
+    arrival_seed: int = 0,
+) -> OpenLoopReport:
+    """Submit one request per start vertex on an open-loop schedule.
+
+    Query ids are the positions ``0..len(start_vertices)-1``, which makes
+    every run replayable offline via
+    :func:`repro.serve.service.replay_paths`.  Requests shed by
+    admission control are recorded and *not* retried (open-loop clients
+    do not slow down); everything admitted is awaited to completion.
+    """
+    starts = np.asarray(start_vertices, dtype=np.int64)
+    gaps = arrival_gaps(starts.size, rate_per_second, seed=arrival_seed)
+    loop = asyncio.get_running_loop()
+    report = OpenLoopReport(offered=int(starts.size))
+    pending: dict[int, asyncio.Future] = {}
+    began = loop.time()
+    for query_id, (start, gap) in enumerate(zip(starts.tolist(), gaps.tolist())):
+        if gap > 0:
+            await asyncio.sleep(gap)
+        elif query_id % 256 == 255:
+            # Saturation arrivals never sleep, but a submit loop that
+            # *never* yields would admit the entire burst before the
+            # dispatcher gets a turn — serializing admission before
+            # execution instead of pipelining them.  A bare yield every
+            # couple hundred requests keeps the burst open-loop while
+            # letting the service start executing behind it.
+            await asyncio.sleep(0)
+        try:
+            pending[query_id] = service.try_submit(start, query_id=query_id)
+        except ServeOverloadError:
+            report.dropped.append(query_id)
+    for query_id, future in pending.items():
+        results = await future
+        report.paths[query_id] = results.path_of(0)
+    report.elapsed_seconds = loop.time() - began
+    return report
+
+
+def serve_open_loop(
+    service_factory,
+    start_vertices: np.ndarray,
+    rate_per_second: float = 0.0,
+    arrival_seed: int = 0,
+) -> tuple[OpenLoopReport, WalkService]:
+    """Synchronous wrapper: build a service, drive it, drain it.
+
+    ``service_factory`` is a zero-argument callable returning an
+    unstarted :class:`WalkService` — constructed inside the event loop so
+    its futures bind to the right loop.  Returns the report plus the
+    (stopped) service for its ``stats`` / ``engine_stats``.  This is the
+    entry point the CLI and the benchmark share.
+    """
+
+    async def _drive() -> tuple[OpenLoopReport, WalkService]:
+        service = service_factory()
+        async with service:
+            report = await run_open_loop(
+                service,
+                start_vertices,
+                rate_per_second=rate_per_second,
+                arrival_seed=arrival_seed,
+            )
+        return report, service
+
+    return asyncio.run(_drive())

@@ -186,6 +186,25 @@ class WalkResults:
         """Path of the query recorded at position ``query_id``."""
         return self.paths[query_id]
 
+    def subset(self, positions: Sequence[int]) -> "WalkResults":
+        """New :class:`WalkResults` holding the selected positions' paths.
+
+        The serving layer executes a micro-batch as one engine run and
+        resolves each request's future with its own slice.  Paths are
+        *copied*, deliberately: batch-engine paths are views into one
+        compact buffer covering the whole micro-batch, and a slice that
+        shared them would pin every other request's memory for as long
+        as one caller kept their response alive.  ``total_steps`` is
+        recomputed for the subset so per-request hop accounting stays
+        exact.
+        """
+        result = WalkResults()
+        for position in positions:
+            path = self.paths[position]
+            result.paths.append(path.copy() if path.base is not None else path)
+            result.total_steps += max(0, path.size - 1)
+        return result
+
 
 def compact_path_matrix(paths: np.ndarray, hops: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Gather each row's valid prefix into one contiguous buffer.

@@ -174,6 +174,7 @@ def run_walks_batch(
     queries: Sequence[Query],
     seed: int = 0,
     stats: EngineStats | None = None,
+    kernel: VectorizedKernel | None = None,
 ) -> WalkResults:
     """Execute ``queries`` under ``spec`` with frontier supersteps.
 
@@ -181,6 +182,10 @@ def run_walks_batch(
     reference engine; per-query paths are *statistically* equivalent to
     the reference engine's, not bit-identical (the engines consume their
     substreams in different patterns).
+
+    ``kernel``, when given, must already be prepared for ``graph``;
+    repeated callers (the serving layer's prepared batch engine) pass it
+    to amortize alias-table/edge-key construction across batches.
     """
     check_batch_spec(spec)
     results = WalkResults()
@@ -188,8 +193,9 @@ def run_walks_batch(
     if num_queries == 0:
         return results
 
-    kernel = make_kernel(spec.make_sampler())
-    kernel.prepare(graph)
+    if kernel is None:
+        kernel = make_kernel(spec.make_sampler())
+        kernel.prepare(graph)
     query_ids = np.fromiter(
         (query.query_id for query in queries), dtype=np.int64, count=num_queries
     )

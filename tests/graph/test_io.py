@@ -48,6 +48,78 @@ class TestNpzRoundTrip:
             load_npz(path)
 
 
+class TestRoundTripPreservesDerivedState:
+    """save/load must hand back a graph whose *derived* facts — the
+    ``cols_sorted`` fast-path flag, exact weights, metapath typing —
+    are indistinguishable from the original's, because engines key
+    behaviour (binary-searched ``has_edge``, alias tables, admissible
+    hops) off them."""
+
+    def test_npz_keeps_cols_sorted_flag(self, tmp_path):
+        g = from_edges([(0, 2), (0, 1), (1, 0)], num_vertices=3)
+        assert g.cols_sorted  # from_edges sorts neighbor lists by default
+        path = tmp_path / "sorted.npz"
+        save_npz(g, path)
+        assert load_npz(path).cols_sorted
+
+    def test_npz_keeps_unsorted_cols_unsorted(self, tmp_path):
+        g = from_edges([(0, 2), (0, 1), (1, 0)], num_vertices=3,
+                       sort_neighbors=False)
+        assert not g.cols_sorted
+        path = tmp_path / "unsorted.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        # Neither silently sorted nor mis-flagged: the exact column
+        # order survives and the flag re-derives to False.
+        assert not loaded.cols_sorted
+        assert np.array_equal(loaded.col, g.col)
+
+    def test_npz_weights_are_bit_exact(self, tmp_path):
+        g = from_edges([(0, 1), (0, 2), (1, 2)], num_vertices=3,
+                       weights=[0.1, 1 / 3, 7.25])
+        path = tmp_path / "w.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        # npz is the lossless native format: bit equality, not allclose.
+        assert np.array_equal(loaded.weights, g.weights)
+        assert loaded.weights.dtype == g.weights.dtype
+
+    def test_npz_keeps_metapath_assignments_usable(self, tmp_path):
+        """A typed graph must keep working as a MetaPath workload after a
+        round trip, not just carry equal arrays."""
+        from repro.walks import MetaPathSpec, run_walks, make_queries
+
+        g = powerlaw(num_vertices=40, num_edges=160, seed=5)
+        g = g.with_weights(np.linspace(1, 2, g.num_edges))
+        g = assign_metapath_schema(g, num_types=3, seed=6)
+        path = tmp_path / "typed.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded.has_edge_types
+        assert np.array_equal(loaded.edge_types, g.edge_types)
+        assert np.array_equal(loaded.vertex_types, g.vertex_types)
+        spec = MetaPathSpec(pattern=[0, 1, 2], max_length=8)
+        queries = make_queries(loaded, 20, seed=7)
+        original = run_walks(g, spec, queries, seed=8)
+        reloaded = run_walks(loaded, spec, queries, seed=8)
+        for a, b in zip(original.paths, reloaded.paths):
+            assert np.array_equal(a, b)
+
+    def test_edge_list_round_trip_keeps_sorted_flag_and_weights(self, tmp_path):
+        g = from_edges([(0, 2), (0, 1), (1, 0)], num_vertices=3,
+                       weights=[1.5, 2.5, 0.125])
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.cols_sorted
+        # Text serialization uses %.8g: exactly-representable weights
+        # must survive verbatim (dyadic rationals are the honest bar for
+        # a decimal text format).
+        by_edge = dict(zip(g.edges(), g.weights))
+        loaded_by_edge = dict(zip(loaded.edges(), loaded.weights))
+        assert by_edge == loaded_by_edge
+
+
 class TestEdgeListRoundTrip:
     def test_unweighted(self, tmp_path):
         g = from_edges([(0, 1), (1, 2), (2, 0)])

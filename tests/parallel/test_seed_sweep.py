@@ -1,0 +1,173 @@
+"""Seed-sweep property tests: planner/merge invariants under adversity.
+
+The parallel engine's contract is that sharding is *invisible*: for any
+shard plan — including degenerate ones — results are bit-identical to
+the single-core batch engine.  These sweeps hammer that with >= 20 seeds
+of randomized workloads shaped to stress the planner and the streaming
+merge: more shards than queries (empty shards), workers > queries, a
+single heavy query drowning a sea of dangling starts, and shuffled query
+order.  Each graph's engine is built once (module scope) so the sweep
+exercises many plans, not many pool start-ups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edges
+from repro.graph.generators import powerlaw
+from repro.parallel import ParallelWalkEngine
+from repro.parallel.planner import QueryCostModel, plan_shards
+from repro.walks import DeepWalkSpec, Query, URWSpec, run_walks_batch
+
+SWEEP_SEEDS = list(range(20))
+
+
+def _adversarial_graph():
+    """Heavy-tailed graph with a guaranteed hub and many dangling sinks.
+
+    ``powerlaw`` alone gives every vertex out-edges, so the sink tail is
+    added explicitly: vertices 80..91 exist only as targets — queries
+    starting there make zero hops, the shape that starves naive
+    count-balanced shard plans.
+    """
+    base = powerlaw(num_vertices=80, num_edges=260, seed=7, name="sweep")
+    edges = [(int(a), int(b)) for a, b in base.edges()]
+    edges += [(v % 80, 80 + (v % 12)) for v in range(12)]
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=92,
+                      directed=True, name="sweep")
+
+
+@pytest.fixture(scope="module")
+def urw_engine():
+    # 4 workers x 4 shards/worker = 16 shards against tiny query counts:
+    # most plans in the sweep contain empty shards by construction.
+    with ParallelWalkEngine(_adversarial_graph(), URWSpec(max_length=15),
+                           workers=4) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def weighted_engine():
+    graph = powerlaw(num_vertices=60, num_edges=240, seed=8, name="sweep-w")
+    graph = graph.with_weights(
+        np.random.default_rng(9).uniform(0.5, 2.0, graph.num_edges)
+    )
+    with ParallelWalkEngine(graph, DeepWalkSpec(max_length=15),
+                           workers=4) as engine:
+        yield engine
+
+
+def _random_queries(graph, seed):
+    """1..24 queries over *all* vertices — dangling starts included —
+    with ids shuffled so batch position != query id."""
+    rng = np.random.default_rng(seed)
+    count = int(rng.integers(1, 25))
+    starts = rng.choice(graph.num_vertices, size=count, replace=True)
+    ids = rng.permutation(count * 3)[:count]  # sparse, shuffled ids
+    return [Query(int(i), int(v)) for i, v in zip(ids, starts)]
+
+
+def _assert_matches_batch(engine, graph, spec, queries, seed):
+    expected = run_walks_batch(graph, spec, queries, seed=seed)
+    actual = engine.run(queries, seed=seed)
+    assert actual.num_queries == expected.num_queries
+    for position in range(expected.num_queries):
+        assert np.array_equal(actual.path_of(position),
+                              expected.path_of(position)), (
+            f"seed={seed}: path at position {position} diverged"
+        )
+    assert actual.total_steps == expected.total_steps
+
+
+class TestShardMergeBitIdentity:
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_random_workloads_unweighted(self, urw_engine, seed):
+        graph = _adversarial_graph()
+        queries = _random_queries(graph, seed)
+        _assert_matches_batch(urw_engine, graph, URWSpec(max_length=15),
+                              queries, seed)
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_random_workloads_weighted(self, weighted_engine, seed):
+        graph = weighted_engine._graph
+        queries = _random_queries(graph, seed + 1000)
+        _assert_matches_batch(weighted_engine, graph,
+                              DeepWalkSpec(max_length=15), queries, seed)
+
+    def test_workers_exceed_queries(self, urw_engine):
+        """4 workers x 4 shards against a single query: 15 empty shards."""
+        graph = _adversarial_graph()
+        hub = int(np.argmax(graph.degrees()))
+        queries = [Query(0, hub)]
+        _assert_matches_batch(urw_engine, graph, URWSpec(max_length=15),
+                              queries, seed=42)
+
+    def test_single_heavy_query_among_dangling(self, urw_engine):
+        """One full-length walk plus dangling starts: maximal cost skew,
+        so the planner isolates the heavy query — and must not matter."""
+        graph = _adversarial_graph()
+        degrees = graph.degrees()
+        hub = int(np.argmax(degrees))
+        dangling = np.nonzero(degrees == 0)[0]
+        assert dangling.size > 0, "sweep graph must contain dangling vertices"
+        starts = [hub] + [int(v) for v in dangling[:12]]
+        queries = [Query(i, v) for i, v in enumerate(starts)]
+        _assert_matches_batch(urw_engine, graph, URWSpec(max_length=15),
+                              queries, seed=43)
+
+
+class TestPlannerInvariants:
+    """plan_shards must always emit a permutation partition, whatever the
+    cost vector looks like."""
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_partition_property(self, seed):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(0, 40))
+        costs = rng.exponential(2.0, size=count)
+        num_shards = int(rng.integers(1, 18))
+        shards = plan_shards(costs, num_shards)
+        assert len(shards) == num_shards
+        everything = np.concatenate([s for s in shards]) if shards else np.empty(0)
+        assert sorted(everything.tolist()) == list(range(count))
+        for shard in shards:
+            assert np.array_equal(shard, np.sort(shard))
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_deterministic_plans(self, seed):
+        rng = np.random.default_rng(seed)
+        costs = rng.exponential(2.0, size=30)
+        first = plan_shards(costs, 7)
+        second = plan_shards(costs.copy(), 7)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_cost_model_ranks_heavy_before_dangling(self):
+        graph = _adversarial_graph()
+        model = QueryCostModel(graph, URWSpec(max_length=15))
+        degrees = graph.degrees()
+        hub = int(np.argmax(degrees))
+        dangling = int(np.nonzero(degrees == 0)[0][0])
+        costs = model.costs(np.array([hub, dangling]))
+        assert costs[0] > costs[1]
+
+    def test_empty_shards_for_sparse_workloads(self):
+        shards = plan_shards(np.array([1.0, 2.0]), 8)
+        sizes = [s.size for s in shards]
+        assert sum(sizes) == 2
+        assert sizes.count(0) == 6
+
+
+def test_extreme_imbalance_stays_identical_without_pool():
+    """Belt-and-braces in-process check: a pathological 2-vertex chain
+    graph (hub -> sink) with duplicated heavy queries, run through a
+    dedicated small engine."""
+    edges = [(0, 1)] * 1  # single edge; vertex 1 dangles
+    graph = from_edges(np.asarray(edges, dtype=np.int64), num_vertices=3)
+    spec = URWSpec(max_length=5)
+    queries = [Query(i, 0) for i in range(5)] + [Query(9, 2)]
+    expected = run_walks_batch(graph, spec, queries, seed=3)
+    with ParallelWalkEngine(graph, spec, workers=2) as engine:
+        actual = engine.run(queries, seed=3)
+    for position in range(expected.num_queries):
+        assert np.array_equal(actual.path_of(position), expected.path_of(position))

@@ -233,3 +233,70 @@ class TestInverseTransformSampler:
         g = from_edges([(0, 1)], num_vertices=2)
         outcome = InverseTransformSampler().sample(g, StepContext(vertex=0), rng_source())
         assert outcome.index == 0
+
+    @pytest.mark.parametrize("degree", [4, 200])
+    def test_matches_scalar_scan_bit_for_bit(self, degree):
+        """The cumsum+searchsorted fast path must reproduce the original
+        sequential CDF scan exactly — same index, same reads — for the
+        same uniform draw, including the round-off fallback.  The
+        degree-200 case matters: there NumPy's pairwise ``weights.sum()``
+        differs from the sequential running total in the last ulp, and
+        the target must keep using the former (as the scalar loop did)
+        or boundary draws flip."""
+
+        def scalar_scan(weights, target):
+            cumulative = 0.0
+            for i, w in enumerate(weights):
+                cumulative += float(w)
+                if target < cumulative:
+                    return i, i + 1
+            return len(weights) - 1, len(weights)
+
+        weight_rng = np.random.default_rng(degree)
+        g = from_edges(
+            [(0, 1 + i) for i in range(degree)],
+            weights=weight_rng.uniform(0.1, 3.0, size=degree),
+            num_vertices=degree + 1,
+        )
+        weights = g.neighbor_weights(0)
+        sampler = InverseTransformSampler()
+        rng = np.random.default_rng(11)
+        for _ in range(2_000):
+            u = float(rng.random())
+
+            class FixedSource:
+                def uniform(self_inner):
+                    return u
+
+            outcome = sampler.sample(g, StepContext(vertex=0), FixedSource())
+            index, reads = scalar_scan(weights, u * float(weights.sum()))
+            assert outcome.index == index
+            assert outcome.neighbor_reads == reads
+
+    def test_neighbor_reads_follow_chosen_index(self):
+        """Accounting semantics: a scan that stops at index i has read
+        i + 1 weights — the O(d) cost the baseline models charge."""
+        g = weighted_fan()
+        sampler = InverseTransformSampler()
+        source = rng_source(3)
+        for _ in range(500):
+            outcome = sampler.sample(g, StepContext(vertex=0), source)
+            assert outcome.neighbor_reads == outcome.index + 1
+            assert outcome.proposals == 1
+
+    def test_roundoff_target_takes_last_neighbor(self):
+        """A uniform draw of exactly 1.0-epsilon scaled to the total can
+        land past the final prefix sum; the sampler must clamp to the
+        last neighbor after a full-degree read, like the scalar scan."""
+
+        class TopSource:
+            # Out-of-contract 1.0 forces target == total exactly, the
+            # worst case round-off can produce.
+            def uniform(self):
+                return 1.0
+
+        g = from_edges([(0, 1), (0, 2), (0, 3)],
+                       weights=[0.1, 0.1, 0.1], num_vertices=4)
+        outcome = InverseTransformSampler().sample(g, StepContext(vertex=0), TopSource())
+        assert outcome.index == g.degree(0) - 1
+        assert outcome.neighbor_reads == g.degree(0)

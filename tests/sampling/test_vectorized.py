@@ -201,5 +201,26 @@ class TestKernelFactory:
         assert reservoir.second_order
 
     def test_unknown_sampler_rejected(self):
-        with pytest.raises(SamplingError, match="vectorized"):
+        """An unmapped sampler must fail loudly *and* tell the user where
+        to go: the reference engine runs any scalar sampler."""
+        with pytest.raises(SamplingError, match="reference engine") as excinfo:
             make_kernel(InverseTransformSampler())
+        # The message names the offending sampler so the error is
+        # actionable from a CLI stack trace.
+        assert "inverse-transform" in str(excinfo.value)
+
+    def test_unknown_sampler_subclass_rejected(self):
+        """The factory keys on known types, not hasattr duck-typing: a
+        novel Sampler subclass (no kernel written yet) is rejected with
+        the same pointer at the reference engine."""
+        from repro.sampling.base import SampleOutcome, Sampler
+
+        class BespokeSampler(Sampler):
+            name = "bespoke"
+            rp_entry_bits = 64
+
+            def sample(self, graph, context, random_source):
+                return SampleOutcome(index=0, proposals=1, neighbor_reads=1)
+
+        with pytest.raises(SamplingError, match="reference engine"):
+            make_kernel(BespokeSampler())
