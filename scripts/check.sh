@@ -2,11 +2,12 @@
 # CI gate: tier-1 test suite plus engine smoke benchmarks — the batch
 # engine must beat the reference loop on a 10k-query RMAT workload, the
 # sharded parallel engine (2 workers, small graph) must produce
-# bit-identical results to the batch engine, and the async walk service
+# bit-identical results to the batch engine, the async walk service
 # must shed zero requests under nominal open-loop load while replaying
-# bit-identically offline.  (The machine-readable BENCH_*.json perf
-# records are rewritten by the *full* benchmark runs, not by these
-# smokes.)
+# bit-identically offline, and the dynamic subsystem must publish
+# snapshots bit-identical to from-scratch builds after a streamed
+# update trace.  (The machine-readable BENCH_*.json perf records are
+# rewritten by the *full* benchmark runs, not by these smokes.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,3 +27,7 @@ python benchmarks/bench_parallel_engine.py --smoke
 echo
 echo "== serve smoke (zero drops at nominal load, bit-identical replay) =="
 python benchmarks/bench_serve.py --smoke
+
+echo
+echo "== dynamic smoke (update trace + snapshot-equivalence check) =="
+python benchmarks/bench_dynamic.py --smoke

@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the workflows a downstream user reaches for first:
+Five commands cover the workflows a downstream user reaches for first:
 
 * ``walk`` — run a GRW workload on the simulated accelerator and print
   throughput/utilization (optionally from a graph file);
 * ``serve-bench`` — drive the async walk service with an open-loop
   (Poisson or saturation) request workload and print serving metrics;
+* ``mutate-bench`` — stream an update trace into a dynamic graph and
+  print incremental-maintenance throughput, compaction cost, and
+  walk-throughput retention vs a static rebuild;
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (the same registry the benchmark suite uses);
 * ``info`` — list datasets, algorithms, devices and experiment ids.
@@ -123,6 +126,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=1)
     serve.add_argument("--scale", type=float, default=1.0,
                        help="dataset scale multiplier")
+
+    mutate = sub.add_parser(
+        "mutate-bench",
+        help="stream graph updates and measure incremental maintenance",
+        description="Drive a streamed update trace (grow-only, sliding-window "
+        "or weight-churn over an RMAT graph) into a dynamic graph "
+        "(repro.dynamic), publishing an epoch snapshot per batch, and report "
+        "updates/sec, compaction cost, the speedup of incremental sampler "
+        "maintenance over from-scratch rebuilds, and walk-throughput "
+        "retention on the final snapshot.",
+    )
+    mutate.add_argument("--trace", choices=("grow", "window", "churn"),
+                        default="window",
+                        help="update pattern (default: sliding window)")
+    mutate.add_argument("--algorithm", choices=ALGORITHMS, default="DeepWalk")
+    mutate.add_argument("--scale", type=int, default=12,
+                        help="RMAT scale (2**scale vertices)")
+    mutate.add_argument("--edge-factor", type=int, default=8)
+    mutate.add_argument("--batch-size", type=int, default=1000,
+                        help="edge operations per update batch")
+    mutate.add_argument("--batches", type=int, default=20,
+                        help="update batches to stream")
+    mutate.add_argument("--unweighted", action="store_true",
+                        help="drop edge weights (grow/window traces only)")
+    mutate.add_argument("--queries", type=int, default=512,
+                        help="walk queries for the retention measurement")
+    mutate.add_argument("--length", type=int, default=80)
+    mutate.add_argument("--seed", type=int, default=1)
+    mutate.add_argument("--compaction-threshold", type=float, default=0.25,
+                        help="fold deltas into a fresh CSR base once they "
+                        "exceed this fraction of base edges")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS),
@@ -272,6 +306,50 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_mutate_bench(args) -> int:
+    """Streamed-update benchmark: one dynamic graph, one update trace."""
+    from repro.dynamic import make_trace, run_mutate_bench
+
+    args.seed = normalize_seed(args.seed)
+    if args.algorithm == "MetaPath":
+        raise WalkConfigError(
+            "the dynamic subsystem does not support edge-typed graphs; "
+            "pick a non-MetaPath algorithm"
+        )
+    if args.unweighted and args.trace == "churn":
+        raise WalkConfigError("the weight-churn trace requires edge weights")
+    kwargs = dict(
+        edge_factor=args.edge_factor,
+        batch_size=args.batch_size,
+        num_batches=args.batches,
+        seed=args.seed,
+    )
+    if args.trace != "churn":
+        kwargs["weighted"] = not args.unweighted
+    trace = make_trace(args.trace, args.scale, **kwargs)
+    spec = make_spec(args.algorithm)
+    spec.max_length = args.length
+
+    print(f"trace: {trace.name} ({len(trace.batches)} batches of "
+          f"~{args.batch_size} ops; base |V|={trace.num_vertices}, "
+          f"|E|={trace.base_edges.shape[0]})")
+    print(f"workload: {args.algorithm}, {args.queries} retention queries, "
+          f"length {args.length}")
+    report = run_mutate_bench(
+        trace, spec,
+        seed=args.seed,
+        walk_queries=args.queries,
+        compaction_threshold=args.compaction_threshold,
+    )
+    print()
+    print(report.summary())
+    if not report.snapshot_equivalent:
+        print("error: snapshot diverged from a from-scratch build",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_experiment(args) -> int:
     result = EXPERIMENTS[args.id]()
     print(result.to_table())
@@ -289,6 +367,7 @@ def cmd_info(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"walk": cmd_walk, "serve-bench": cmd_serve_bench,
+                "mutate-bench": cmd_mutate_bench,
                 "experiment": cmd_experiment, "info": cmd_info}
     try:
         return handlers[args.command](args)

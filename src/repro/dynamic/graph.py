@@ -1,0 +1,475 @@
+"""Versioned mutable graph: streamed updates, snapshots, compaction.
+
+:class:`DynamicGraph` is the write side of the dynamic subsystem.  It
+holds an immutable CSR **base** plus per-vertex **delta buffers**: each
+touched vertex carries a small override map of *changes* against its
+base row — inserted edges, re-drawn weights, and tombstones for removed
+base edges — so a streamed ``add_edges`` / ``remove_edges`` /
+``update_weights`` op costs one dictionary write plus one O(log d)
+adjacency probe, independent of the vertex's degree (touching an RMAT
+hub must not copy its whole neighbor list).  Once the deltas grow past
+a configurable fraction of the base, they are **compacted** back into a
+fresh ``CSRGraph`` (amortized O(|E|)), bounding overlay memory and
+per-snapshot merge cost.
+
+The read side is :meth:`DynamicGraph.snapshot`: an epoch-versioned,
+immutable ``(CSRGraph, SamplerState)`` pair.  Snapshots are built
+*incrementally* from the previous epoch — only rows dirtied since the
+last snapshot are rebuilt (see :mod:`repro.dynamic.state`) — and are
+bit-identical to a from-scratch build of the same logical edge set.
+Engines and the serving layer keep walking one epoch while updates
+stream into the next; swapping an engine onto a new epoch is
+``PreparedEngine.swap_snapshot`` (no pool respawn, no cold prepare).
+
+Model notes: the vertex set is fixed at construction; the graph is
+simple (at most one directed edge per ``(src, dst)`` — a duplicate
+insert updates the weight in place); MetaPath's edge/vertex types are
+not supported.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.dynamic.state import SamplerState, _assemble_csr, advance_graph_and_state
+from repro.errors import DynamicGraphError
+from repro.graph.builders import validate_edge_weights
+from repro.graph.csr import CSRGraph
+
+_INDEX_DTYPE = np.int64
+_WEIGHT_DTYPE = np.float64
+
+
+@dataclass(frozen=True, eq=False)
+class GraphSnapshot:
+    """One published graph version: immutable and fully prepared.
+
+    ``epoch`` is a monotonically increasing version id (0 is the
+    construction-time state).  ``graph`` is a plain ``CSRGraph`` every
+    engine already understands; ``sampler_state`` carries the prepared
+    kernel arrays (alias tables, ITS CDF rows, edge keys) so swapping an
+    engine onto this snapshot needs no preparation pass.
+    """
+
+    epoch: int
+    graph: CSRGraph
+    sampler_state: SamplerState
+
+    def kernel_arrays(self, kernel) -> dict[str, np.ndarray]:
+        """Prepared arrays for one vectorized kernel (possibly empty)."""
+        return self.sampler_state.kernel_arrays(kernel)
+
+
+def _as_edge_array(edges) -> tuple[np.ndarray, np.ndarray]:
+    array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if array.size == 0:
+        array = array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise DynamicGraphError("edges must be a sequence of (src, dst) pairs")
+    return array[:, 0].astype(_INDEX_DTYPE), array[:, 1].astype(_INDEX_DTYPE)
+
+
+class DynamicGraph:
+    """A mutable directed graph serving immutable versioned snapshots.
+
+    Parameters
+    ----------
+    base:
+        Starting graph (epoch 0).  Must have sorted neighbor lists (every
+        builder in :mod:`repro.graph.builders` produces them) and no
+        edge/vertex types.  Weightedness is fixed for the graph's
+        lifetime: updates to a weighted base must carry weights, updates
+        to an unweighted base must not.
+    compaction_threshold:
+        Fold the delta overlay back into a fresh CSR base once the
+        overlay holds more than this fraction of the base's edges.
+    min_compaction_edges:
+        Never compact below this overlay size — tiny graphs would
+        otherwise compact on every update.
+    """
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        compaction_threshold: float = 0.25,
+        min_compaction_edges: int = 4096,
+    ) -> None:
+        if base.edge_types is not None or base.vertex_types is not None:
+            raise DynamicGraphError(
+                "dynamic graphs do not support edge/vertex types (MetaPath "
+                "schemas); use a plain weighted or unweighted graph"
+            )
+        if not base.cols_sorted:
+            raise DynamicGraphError(
+                "dynamic graphs require sorted neighbor lists; rebuild the "
+                "base with from_edges(..., sort_neighbors=True)"
+            )
+        if compaction_threshold <= 0:
+            raise DynamicGraphError(
+                f"compaction_threshold must be > 0, got {compaction_threshold}"
+            )
+        if min_compaction_edges < 0:
+            raise DynamicGraphError(
+                f"min_compaction_edges must be >= 0, got {min_compaction_edges}"
+            )
+        self._base = base
+        self._weighted = base.is_weighted
+        self._compaction_threshold = float(compaction_threshold)
+        self._min_compaction_edges = int(min_compaction_edges)
+        #: Per-vertex delta buffers, relative to the current base:
+        #: ``vertex -> {dst: weight-or-None}``.  A float is an inserted or
+        #: re-weighted edge (1.0 on unweighted graphs); ``None`` is a
+        #: tombstone for a removed *base* edge (removing an edge that only
+        #: ever lived in the delta just deletes its entry).
+        self._adj: dict[int, dict[int, float | None]] = {}
+        #: Vertices whose rows changed since the last published snapshot.
+        self._dirty: set[int] = set()
+        self._num_edges = base.num_edges
+        self._delta_entries = 0
+        self._epoch = 0
+        self._published: GraphSnapshot | None = None
+        self.updates_applied = 0
+        self.compactions = 0
+        self.compaction_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Read API (current logical graph, base + overlay)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._base.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the current logical graph (overlay included)."""
+        return self._num_edges
+
+    @property
+    def is_weighted(self) -> bool:
+        return self._weighted
+
+    @property
+    def name(self) -> str:
+        return self._base.name
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the most recently published snapshot."""
+        return self._epoch
+
+    @property
+    def delta_edges(self) -> int:
+        """Entries currently held in the per-vertex delta buffers."""
+        return self._delta_entries
+
+    @property
+    def has_pending_updates(self) -> bool:
+        """Whether updates since the last snapshot await publication."""
+        return bool(self._dirty)
+
+    def degree(self, vertex: int) -> int:
+        self._check_vertex(vertex)
+        delta = self._adj.get(vertex)
+        if not delta:
+            return self._base.degree(vertex)
+        degree = self._base.degree(vertex)
+        for dst, weight in delta.items():
+            if weight is None:
+                degree -= 1
+            elif not self._base.has_edge(vertex, dst):
+                degree += 1
+        return degree
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Current neighbor list of ``vertex``, ascending."""
+        cols, _ = self._merged_row(vertex)
+        return cols
+
+    def neighbor_weights(self, vertex: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors` (ones when unweighted)."""
+        cols, weights = self._merged_row(vertex)
+        if weights is None:
+            return np.ones(cols.size, dtype=_WEIGHT_DTYPE)
+        return weights
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        self._check_vertex(src)
+        delta = self._adj.get(src)
+        if delta is not None and dst in delta:
+            return delta[dst] is not None
+        return self._base.has_edge(src, dst)
+
+    def logical_edges(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The full current edge set as ``(edges, weights)``, sorted by
+        ``(src, dst)`` — what a from-scratch rebuild would ingest."""
+        n = self.num_vertices
+        sources: list[np.ndarray] = []
+        dests: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for vertex in range(n):
+            dst, row_weights = self._merged_row(vertex)
+            if dst.size == 0:
+                continue
+            sources.append(np.full(dst.size, vertex, dtype=_INDEX_DTYPE))
+            dests.append(dst)
+            if self._weighted:
+                weights.append(row_weights)
+        if not sources:
+            empty = np.empty((0, 2), dtype=_INDEX_DTYPE)
+            return empty, (np.empty(0, dtype=_WEIGHT_DTYPE) if self._weighted else None)
+        edges = np.stack(
+            [np.concatenate(sources), np.concatenate(dests)], axis=1
+        )
+        return edges, (np.concatenate(weights) if self._weighted else None)
+
+    # ------------------------------------------------------------------
+    # Write API (streamed updates)
+    # ------------------------------------------------------------------
+    def add_edges(
+        self, edges, weights: Sequence[float] | np.ndarray | None = None
+    ) -> int:
+        """Insert directed edges; returns how many were *new*.
+
+        A duplicate ``(src, dst)`` updates the edge's weight in place
+        (no-op on unweighted graphs) — the graph stays simple.  Weighted
+        graphs require aligned ``weights``; unweighted graphs reject
+        them.  Edges apply in order; an invalid edge raises
+        :class:`~repro.errors.DynamicGraphError` and leaves earlier edges
+        of the call applied.
+        """
+        src, dst, weight_array = self._check_update(edges, weights, need_weights=True)
+        inserted = 0
+        for k in range(src.size):
+            s, d = int(src[k]), int(dst[k])
+            delta = self._delta(s)
+            w = float(weight_array[k]) if weight_array is not None else 1.0
+            if d in delta:
+                present = delta[d] is not None
+            else:
+                present = self._base.has_edge(s, d)
+                self._delta_entries += 1
+            if not present:
+                inserted += 1
+                self._num_edges += 1
+            delta[d] = w
+            self._dirty.add(s)
+        self.updates_applied += src.size
+        self._maybe_compact()
+        return inserted
+
+    def remove_edges(self, edges) -> None:
+        """Delete directed edges; a missing edge is an error.
+
+        Edges apply in order (so removing a vertex's whole neighborhood
+        in one call is fine, and its degree drops to 0).
+        """
+        src, dst, _ = self._check_update(edges, None, need_weights=False)
+        for k in range(src.size):
+            s, d = int(src[k]), int(dst[k])
+            delta = self._delta(s)
+            in_delta = d in delta
+            in_base = self._base.has_edge(s, d)
+            present = delta[d] is not None if in_delta else in_base
+            if not present:
+                raise DynamicGraphError(
+                    f"cannot remove edge {s} -> {d}: it does not exist"
+                )
+            if in_base:
+                # Tombstone the base edge (a new entry unless the delta
+                # already overrode this destination).
+                if not in_delta:
+                    self._delta_entries += 1
+                delta[d] = None
+            else:
+                # The edge lives only in the delta: drop its entry.
+                del delta[d]
+                self._delta_entries -= 1
+            self._num_edges -= 1
+            self._dirty.add(s)
+        self.updates_applied += src.size
+        self._maybe_compact()
+
+    def update_weights(self, edges, weights: Sequence[float] | np.ndarray) -> None:
+        """Re-weight existing edges (weighted graphs only)."""
+        if not self._weighted:
+            raise DynamicGraphError(
+                "cannot update weights on an unweighted dynamic graph"
+            )
+        src, dst, weight_array = self._check_update(edges, weights, need_weights=True)
+        for k in range(src.size):
+            s, d = int(src[k]), int(dst[k])
+            delta = self._delta(s)
+            in_delta = d in delta
+            present = delta[d] is not None if in_delta else self._base.has_edge(s, d)
+            if not present:
+                raise DynamicGraphError(
+                    f"cannot re-weight edge {s} -> {d}: it does not exist"
+                )
+            if not in_delta:
+                self._delta_entries += 1
+            delta[d] = float(weight_array[k])
+            self._dirty.add(s)
+        self.updates_applied += src.size
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # Snapshots and compaction
+    # ------------------------------------------------------------------
+    def snapshot(self) -> GraphSnapshot:
+        """Publish the current logical graph as an immutable epoch.
+
+        With no pending updates this returns the cached snapshot (same
+        object, same epoch).  Otherwise a new epoch is built
+        incrementally from the previous one: dirty rows are rebuilt,
+        clean rows — graph arrays and prepared sampler state alike — are
+        copied bit-for-bit (see :func:`repro.dynamic.state.advance_graph_and_state`).
+        """
+        previous = self._published
+        if previous is None:
+            # Epoch 0: the one unavoidable from-scratch preparation.
+            previous = GraphSnapshot(
+                epoch=self._epoch,
+                graph=self._base,
+                sampler_state=SamplerState.full_build(self._base),
+            )
+            self._published = previous
+        if not self._dirty:
+            return previous
+        dirty_rows = {v: self._merged_row(v) for v in self._dirty}
+        graph, state = advance_graph_and_state(
+            previous.graph,
+            previous.sampler_state,
+            dirty_rows,
+            name=self._base.name,
+        )
+        self._epoch += 1
+        snapshot = GraphSnapshot(epoch=self._epoch, graph=graph, sampler_state=state)
+        self._published = snapshot
+        self._dirty.clear()
+        return snapshot
+
+    @property
+    def needs_compaction(self) -> bool:
+        limit = max(
+            self._min_compaction_edges,
+            int(self._compaction_threshold * self._base.num_edges),
+        )
+        return self._delta_entries > limit
+
+    def compact(self) -> None:
+        """Fold the delta overlay into a fresh CSR base (amortized O(|E|)).
+
+        Purely representational: the logical graph, the dirty set and the
+        published epoch are unchanged, so snapshots before and after a
+        compaction are bit-identical.  Runs automatically after an update
+        crosses the threshold; callers only need it to bound memory ahead
+        of a known burst.
+        """
+        if not self._adj:
+            return
+        started = time.perf_counter()
+        dirty_rows = {v: self._merged_row(v) for v in self._adj if self._adj[v]}
+        graph, _, _, _ = _assemble_csr(self._base, dirty_rows, self._base.name)
+        self._base = graph
+        self._adj.clear()
+        self._delta_entries = 0
+        self.compactions += 1
+        self.compaction_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise DynamicGraphError(
+                f"vertex {vertex} out of range for graph with "
+                f"{self.num_vertices} vertices"
+            )
+
+    def _check_update(
+        self, edges, weights, need_weights: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        src, dst = _as_edge_array(edges)
+        n = self.num_vertices
+        if src.size and (
+            src.min() < 0 or dst.min() < 0 or src.max() >= n or dst.max() >= n
+        ):
+            bad = np.nonzero((src < 0) | (dst < 0) | (src >= n) | (dst >= n))[0][0]
+            raise DynamicGraphError(
+                f"edge {int(src[bad])} -> {int(dst[bad])} out of range for "
+                f"graph with {n} vertices (the vertex set is fixed at "
+                f"construction)"
+            )
+        weight_array = None
+        if need_weights and self._weighted:
+            if weights is None:
+                raise DynamicGraphError(
+                    "updates to a weighted dynamic graph must carry weights"
+                )
+            weight_array = np.asarray(weights, dtype=_WEIGHT_DTYPE)
+            if weight_array.shape != src.shape:
+                raise DynamicGraphError("weights must align with edges")
+            validate_edge_weights(weight_array, src, dst)
+        elif weights is not None:
+            raise DynamicGraphError(
+                "unweighted dynamic graphs do not accept edge weights"
+            )
+        return src, dst, weight_array
+
+    def _delta(self, vertex: int) -> dict[int, float | None]:
+        """The (possibly empty, created on demand) delta buffer of one
+        vertex.  O(1): never copies the base row."""
+        delta = self._adj.get(vertex)
+        if delta is None:
+            delta = {}
+            self._adj[vertex] = delta
+        return delta
+
+    def _merged_row(self, vertex: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """One vertex's full current row as sorted ``(col, weights)``.
+
+        O(deg + delta): merges the base row with the vertex's delta
+        buffer.  Called once per dirty row per snapshot (and by the
+        read API), never on the streamed-update path.
+        """
+        self._check_vertex(vertex)
+        delta = self._adj.get(vertex)
+        base_cols = self._base.neighbors(vertex)
+        if not delta:
+            cols = np.array(base_cols, dtype=_INDEX_DTYPE)
+            if not self._weighted:
+                return cols, None
+            return cols, np.array(self._base.neighbor_weights(vertex),
+                                  dtype=_WEIGHT_DTYPE)
+        if self._weighted:
+            row = dict(zip(base_cols.tolist(),
+                           self._base.neighbor_weights(vertex).tolist()))
+        else:
+            row = dict.fromkeys(base_cols.tolist(), 1.0)
+        for dst, weight in delta.items():
+            if weight is None:
+                row.pop(dst, None)
+            else:
+                row[dst] = weight
+        cols = np.fromiter(sorted(row), dtype=_INDEX_DTYPE, count=len(row))
+        if not self._weighted:
+            return cols, None
+        weights = np.fromiter(
+            (row[int(dst)] for dst in cols), dtype=_WEIGHT_DTYPE, count=cols.size
+        )
+        return cols, weights
+
+    def _maybe_compact(self) -> None:
+        if self.needs_compaction:
+            self.compact()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicGraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, epoch={self._epoch}, "
+            f"delta={self._delta_entries}, dirty={len(self._dirty)})"
+        )

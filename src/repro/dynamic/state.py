@@ -1,0 +1,250 @@
+"""Prepared sampler state with incremental, bit-identical maintenance.
+
+Every software engine pays a per-graph preparation cost before its first
+hop: DeepWalk's alias tables (``graph/alias.py``), the second-order
+kernels' sorted edge-key array (``sampling/vectorized.py``), and the
+ITS-style per-vertex CDF rows the weighted baselines scan.  On a static
+graph that cost is paid once; on a mutating graph a naive engine pays it
+again after *every* update batch, which is exactly the rebuild tax the
+dynamic-graph papers (LightRW, FlexiWalker) structure their designs
+around.
+
+:class:`SamplerState` bundles all of that prepared state into one
+immutable value, and :func:`advance_graph_and_state` rebuilds it
+*incrementally*: vertices whose neighborhoods changed ("dirty" rows) are
+rebuilt with the same per-row builders a from-scratch build uses, while
+every clean row's slots are copied bit-for-bit from the previous state.
+Because alias tables, CDF rows and edge keys are all row-local, the
+result is **bit-identical** to ``SamplerState.full_build`` on a freshly
+constructed CSR of the same logical graph — the property the dynamic
+subsystem's snapshot-equivalence guarantee rests on, enforced by the
+property tests in ``tests/dynamic/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import DynamicGraphError
+from repro.graph.alias import build_alias_slots, build_alias_table
+from repro.graph.csr import CSRGraph
+from repro.sampling.its import build_its_cdf, build_its_row_totals
+from repro.sampling.vectorized import (
+    AliasKernel,
+    RejectionKernel,
+    ReservoirKernel,
+    VectorizedKernel,
+    build_edge_keys,
+)
+
+_INDEX_DTYPE = np.int64
+_WEIGHT_DTYPE = np.float64
+
+
+@dataclass(frozen=True, eq=False)
+class SamplerState:
+    """Every engine's prepared per-graph arrays, as one immutable value.
+
+    All four arrays are aligned with the owning graph's CSR column list
+    (``edge_keys`` is additionally sorted, which for the sorted-neighbor
+    CSRs this subsystem produces is the identity order).  A snapshot
+    carries one of these so engines can be swapped onto a new graph
+    version without re-running any preparation pass.
+    """
+
+    alias_prob: np.ndarray
+    alias_index: np.ndarray
+    its_cdf: np.ndarray
+    its_row_totals: np.ndarray
+    edge_keys: np.ndarray
+
+    def __post_init__(self) -> None:
+        for array in (self.alias_prob, self.alias_index, self.its_cdf,
+                      self.its_row_totals, self.edge_keys):
+            array.setflags(write=False)
+        if not (
+            self.alias_prob.shape
+            == self.alias_index.shape
+            == self.its_cdf.shape
+            == self.edge_keys.shape
+        ):
+            raise DynamicGraphError("sampler state arrays must align")
+
+    @classmethod
+    def full_build(cls, graph: CSRGraph) -> "SamplerState":
+        """Build every prepared structure from scratch (the rebuild tax a
+        static pipeline pays per update batch; the incremental path in
+        :func:`advance_graph_and_state` must match this bit-for-bit)."""
+        table = build_alias_table(graph)
+        return cls(
+            alias_prob=table.prob,
+            alias_index=table.alias,
+            its_cdf=build_its_cdf(graph),
+            its_row_totals=build_its_row_totals(graph),
+            edge_keys=build_edge_keys(graph),
+        )
+
+    @property
+    def num_slots(self) -> int:
+        return self.alias_prob.size
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """All prepared arrays, keyed with the vectorized kernels' own
+        ``state_arrays`` names (plus the ITS sampler's pair)."""
+        return {
+            "alias_prob": self.alias_prob,
+            "alias_index": self.alias_index,
+            "its_cdf": self.its_cdf,
+            "its_row_totals": self.its_row_totals,
+            "edge_keys": self.edge_keys,
+        }
+
+    def load_its_sampler(self, sampler, graph: CSRGraph) -> None:
+        """Hand the maintained CDF rows to an
+        :class:`~repro.sampling.its.InverseTransformSampler` prepared for
+        ``graph`` (this state's owning snapshot graph) — the scalar-side
+        equivalent of :meth:`kernel_arrays`, skipping the sampler's own
+        O(|E|) ``prepare`` pass."""
+        sampler.load_state(self.its_cdf, self.its_row_totals, graph)
+
+    def kernel_arrays(self, kernel: VectorizedKernel) -> dict[str, np.ndarray]:
+        """The subset of prepared arrays ``kernel`` actually consumes.
+
+        Shaped for :meth:`~repro.sampling.vectorized.VectorizedKernel.load_state`;
+        an empty mapping means the kernel needs no prepared state (uniform
+        sampling, first-order reservoir), so a swap can skip both the load
+        and any shared-memory broadcast.
+        """
+        if isinstance(kernel, AliasKernel):
+            return {"alias_prob": self.alias_prob, "alias_index": self.alias_index}
+        if isinstance(kernel, RejectionKernel):
+            return {"edge_keys": self.edge_keys}
+        if isinstance(kernel, ReservoirKernel):
+            return {"edge_keys": self.edge_keys} if kernel.second_order else {}
+        return {}
+
+
+def _assemble_csr(
+    prev_graph: CSRGraph,
+    dirty_rows: Mapping[int, tuple[np.ndarray, np.ndarray | None]],
+    name: str,
+) -> tuple[CSRGraph, np.ndarray, np.ndarray, np.ndarray]:
+    """Build the next CSR from the previous one plus replaced rows.
+
+    Returns ``(graph, clean_dst, clean_src, row_ptr)`` where ``clean_dst``
+    and ``clean_src`` are aligned position arrays mapping every edge of an
+    unchanged row from its slot in the new arrays to its slot in the old
+    ones — the gather the sampler-state copy reuses, computed once.
+    """
+    n = prev_graph.num_vertices
+    weighted = prev_graph.is_weighted
+    new_deg = prev_graph.degrees().copy()
+    for vertex, (cols, _) in dirty_rows.items():
+        new_deg[vertex] = cols.size
+    row_ptr = np.zeros(n + 1, dtype=_INDEX_DTYPE)
+    np.cumsum(new_deg, out=row_ptr[1:])
+    num_edges = int(row_ptr[-1])
+
+    col = np.empty(num_edges, dtype=_INDEX_DTYPE)
+    weights = np.empty(num_edges, dtype=_WEIGHT_DTYPE) if weighted else None
+
+    dirty_mask = np.zeros(n, dtype=bool)
+    if dirty_rows:
+        dirty_mask[np.fromiter(dirty_rows, dtype=_INDEX_DTYPE, count=len(dirty_rows))] = True
+    clean = np.nonzero(~dirty_mask & (new_deg > 0))[0]
+    counts = new_deg[clean]
+    total_clean = int(counts.sum())
+    # New-array position of every clean edge, and its source position in
+    # the previous arrays: rows keep their internal order, only their
+    # starting offsets shift.
+    within = np.arange(total_clean, dtype=_INDEX_DTYPE) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    clean_dst = np.repeat(row_ptr[:-1][clean], counts) + within
+    clean_src = np.repeat(prev_graph.row_ptr[:-1][clean], counts) + within
+    col[clean_dst] = prev_graph.col[clean_src]
+    if weighted:
+        weights[clean_dst] = prev_graph.weights[clean_src]
+
+    for vertex, (cols, row_weights) in dirty_rows.items():
+        lo, hi = int(row_ptr[vertex]), int(row_ptr[vertex + 1])
+        col[lo:hi] = cols
+        if weighted:
+            weights[lo:hi] = row_weights
+
+    graph = CSRGraph(row_ptr=row_ptr, col=col, weights=weights, name=name)
+    return graph, clean_dst, clean_src, row_ptr
+
+
+def advance_graph_and_state(
+    prev_graph: CSRGraph,
+    prev_state: SamplerState,
+    dirty_rows: Mapping[int, tuple[np.ndarray, np.ndarray | None]],
+    name: str | None = None,
+) -> tuple[CSRGraph, SamplerState]:
+    """Produce the next ``(CSRGraph, SamplerState)`` version incrementally.
+
+    ``dirty_rows`` maps each changed vertex to its complete new
+    neighborhood ``(col, weights)`` — ``col`` ascending, ``weights`` None
+    on unweighted graphs.  Unchanged rows are copied (graph arrays and
+    every prepared structure alike); dirty rows are rebuilt with the same
+    per-row builders ``SamplerState.full_build`` uses, so the output is
+    bit-identical to a from-scratch build of the same logical graph while
+    costing O(|E| copies + rebuilt-row work) instead of the full
+    alias/CDF construction passes.
+    """
+    weighted = prev_graph.is_weighted
+    graph, clean_dst, clean_src, row_ptr = _assemble_csr(
+        prev_graph, dirty_rows, name or prev_graph.name
+    )
+    num_edges = graph.num_edges
+
+    alias_prob = np.empty(num_edges, dtype=_WEIGHT_DTYPE)
+    alias_index = np.empty(num_edges, dtype=_INDEX_DTYPE)
+    its_cdf = np.empty(num_edges, dtype=_WEIGHT_DTYPE)
+    alias_prob[clean_dst] = prev_state.alias_prob[clean_src]
+    alias_index[clean_dst] = prev_state.alias_index[clean_src]
+    its_cdf[clean_dst] = prev_state.its_cdf[clean_src]
+    its_row_totals = prev_state.its_row_totals.copy()
+
+    for vertex, (cols, row_weights) in dirty_rows.items():
+        lo, hi = int(row_ptr[vertex]), int(row_ptr[vertex + 1])
+        degree = hi - lo
+        if degree == 0:
+            its_row_totals[vertex] = 0.0
+            continue
+        if weighted:
+            prob, alias = build_alias_slots(row_weights)
+            alias_prob[lo:hi] = prob
+            alias_index[lo:hi] = alias
+            its_cdf[lo:hi] = np.cumsum(row_weights)
+            # Pairwise sum, matching build_its_row_totals (not the CDF's
+            # sequential last entry — they differ in the final ulp).
+            its_row_totals[vertex] = row_weights.sum()
+        else:
+            alias_prob[lo:hi] = 1.0
+            alias_index[lo:hi] = np.arange(degree, dtype=_INDEX_DTYPE)
+            its_cdf[lo:hi] = np.arange(1, degree + 1, dtype=_WEIGHT_DTYPE)
+            its_row_totals[vertex] = float(degree)
+
+    # Sorted neighbor lists make (src * |V| + dst) globally sorted already;
+    # the fallback sort mirrors build_edge_keys exactly for the (never
+    # produced here) unsorted case, keeping bit-identity unconditional.
+    sources = np.repeat(
+        np.arange(graph.num_vertices, dtype=_INDEX_DTYPE), graph.degrees()
+    )
+    edge_keys = sources * np.int64(graph.num_vertices) + graph.col
+    if not graph.cols_sorted:  # pragma: no cover - dirty rows arrive sorted
+        edge_keys = np.sort(edge_keys)
+
+    state = SamplerState(
+        alias_prob=alias_prob,
+        alias_index=alias_index,
+        its_cdf=its_cdf,
+        its_row_totals=its_row_totals,
+        edge_keys=edge_keys,
+    )
+    return graph, state

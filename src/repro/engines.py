@@ -113,6 +113,22 @@ class PreparedEngine(ABC):
     ) -> WalkResults:
         """Execute one batch against the prepared state."""
 
+    def swap_snapshot(self, snapshot) -> None:
+        """Repoint this prepared engine at a new graph version.
+
+        ``snapshot`` is either a plain :class:`CSRGraph` or a dynamic
+        :class:`~repro.dynamic.graph.GraphSnapshot`; a snapshot's
+        incrementally maintained sampler state replaces the kernel
+        preparation pass, so the swap costs a state hand-off rather than
+        an alias-table/edge-key rebuild.  Long-lived resources (the
+        parallel engine's worker pool and its processes) survive the
+        swap.  Callers must not swap while a :meth:`run` is executing;
+        the serving layer applies swaps on epoch boundaries.
+        """
+        raise WalkConfigError(
+            f"engine {self.name!r} does not support snapshot swaps"
+        )
+
     def close(self) -> None:
         """Release held resources (worker pools, shared memory)."""
 
@@ -121,6 +137,23 @@ class PreparedEngine(ABC):
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _resolve_snapshot(snapshot) -> tuple[CSRGraph, object | None]:
+    """Split a swap target into ``(graph, sampler_state_or_None)``.
+
+    Duck-typed on the :class:`~repro.dynamic.graph.GraphSnapshot` shape so
+    this registry does not import the dynamic subsystem (which imports
+    the registry for its benchmarks).
+    """
+    graph = getattr(snapshot, "graph", snapshot)
+    state = getattr(snapshot, "sampler_state", None)
+    if not isinstance(graph, CSRGraph):
+        raise WalkConfigError(
+            f"cannot swap to {type(snapshot).__name__}; expected a CSRGraph "
+            "or a dynamic GraphSnapshot"
+        )
+    return graph, state
 
 
 class _PreparedReferenceEngine(PreparedEngine):
@@ -134,6 +167,10 @@ class _PreparedReferenceEngine(PreparedEngine):
 
     def run(self, queries, seed=0, stats=None):
         return run_walks(self._graph, self._spec, queries, seed=seed, stats=stats)
+
+    def swap_snapshot(self, snapshot) -> None:
+        # The scalar samplers re-prepare per run; only the graph swaps.
+        self._graph, _ = _resolve_snapshot(snapshot)
 
 
 class _PreparedBatchEngine(PreparedEngine):
@@ -154,6 +191,18 @@ class _PreparedBatchEngine(PreparedEngine):
             kernel=self._kernel,
         )
 
+    def swap_snapshot(self, snapshot) -> None:
+        graph, state = _resolve_snapshot(snapshot)
+        kernel = make_kernel(self._spec.make_sampler())
+        arrays = state.kernel_arrays(kernel) if state is not None else None
+        if arrays:
+            kernel.load_state(arrays)
+        elif arrays is None:
+            kernel.prepare(graph)
+        # arrays == {}: the kernel holds no per-graph state; nothing to do.
+        self._graph = graph
+        self._kernel = kernel
+
 
 class _PreparedParallelEngine(PreparedEngine):
     """Parallel engine handle wrapping a persistent worker pool."""
@@ -161,10 +210,18 @@ class _PreparedParallelEngine(PreparedEngine):
     name = "parallel"
 
     def __init__(self, graph: CSRGraph, spec: WalkSpec, workers: int | None = None) -> None:
+        self._spec = spec
         self._engine = ParallelWalkEngine(graph, spec, workers=workers)
 
     def run(self, queries, seed=0, stats=None):
         return self._engine.run(queries, seed=seed, stats=stats)
+
+    def swap_snapshot(self, snapshot) -> None:
+        graph, state = _resolve_snapshot(snapshot)
+        arrays = None
+        if state is not None:
+            arrays = state.kernel_arrays(make_kernel(self._spec.make_sampler()))
+        self._engine.swap_graph(graph, kernel_arrays=arrays)
 
     def close(self) -> None:
         self._engine.close()

@@ -21,6 +21,10 @@ class GraphFormatError(GraphError):
     """A serialized graph could not be parsed or failed validation."""
 
 
+class DynamicGraphError(GraphError):
+    """An invalid streamed update was applied to a mutable graph."""
+
+
 class SamplingError(ReproError):
     """A sampler was misconfigured or asked to sample from nothing."""
 

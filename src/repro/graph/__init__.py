@@ -22,6 +22,7 @@ from repro.graph.builders import (
     from_adjacency_dict,
     from_edges,
     paper_example_graph,
+    validate_edge_weights,
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import (
@@ -97,5 +98,6 @@ __all__ = [
     "save_npz",
     "star_graph",
     "thunderrw_weights",
+    "validate_edge_weights",
     "working_set_bytes",
 ]

@@ -16,6 +16,37 @@ from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
 
 
+def validate_edge_weights(
+    weights: np.ndarray,
+    src: np.ndarray | None = None,
+    dst: np.ndarray | None = None,
+) -> None:
+    """Reject negative, zero, NaN or infinite edge weights up front.
+
+    ``CSRGraph`` validates its weight array too, but by then the edges
+    have been reordered, so the error cannot name the offending *input*
+    edge.  The builders (and the dynamic-graph update path) call this
+    before any reordering; the message points at the first bad edge so a
+    corrupt ingest fails loudly instead of producing alias tables built
+    from garbage.
+    """
+    weights = np.asarray(weights)
+    if weights.size == 0:
+        return
+    bad = ~np.isfinite(weights) | (weights <= 0)
+    if not bad.any():
+        return
+    index = int(np.nonzero(bad)[0][0])
+    value = float(weights[index]) if np.isfinite(weights[index]) else weights[index]
+    where = f"edge {index}"
+    if src is not None and dst is not None:
+        where = f"edge {index} ({int(src[index])} -> {int(dst[index])})"
+    raise GraphError(
+        f"edge weights must be strictly positive and finite; {where} has "
+        f"weight {value}"
+    )
+
+
 def from_edges(
     edges: Iterable[tuple[int, int]],
     num_vertices: int | None = None,
@@ -55,6 +86,8 @@ def from_edges(
     type_array = None if edge_types is None else np.asarray(edge_types, dtype=np.int16)
     if weight_array is not None and weight_array.size != src.size:
         raise GraphError("weights must align with edges")
+    if weight_array is not None:
+        validate_edge_weights(weight_array, src, dst)
     if type_array is not None and type_array.size != src.size:
         raise GraphError("edge_types must align with edges")
 

@@ -101,24 +101,34 @@ class ParallelWalkEngine:
 
         kernel = make_kernel(spec.make_sampler())
         kernel.prepare(graph)
-        shared = dict(graph_arrays(graph))
-        for name, array in kernel.state_arrays().items():
-            shared[KERNEL_PREFIX + name] = array
-        self._store = SharedArrayStore.create(shared, graph_name=graph.name)
+        self._store = self._create_store(graph, kernel.state_arrays())
         self._pool = None
         try:
             context = _pick_context()
+            # Forked workers share the parent's resource tracker and
+            # must leave the segment registration alone; spawned ones
+            # have their own tracker and must untrack the attach.
+            self._untrack_attach = context.get_start_method() != "fork"
+            # One party per worker: pins graph-swap broadcasts so every
+            # worker adopts the new segment exactly once (see
+            # worker.adopt_store).
+            self._swap_barrier = context.Barrier(self._workers)
             self._pool = context.Pool(
                 processes=self._workers,
                 initializer=_worker.init_worker,
-                # Forked workers share the parent's resource tracker and
-                # must leave the segment registration alone; spawned ones
-                # have their own tracker and must untrack the attach.
-                initargs=(self._store.handle, spec, context.get_start_method() != "fork"),
+                initargs=(self._store.handle, spec, self._untrack_attach,
+                          self._swap_barrier),
             )
         except Exception:
             self._store.close()
             raise
+
+    @staticmethod
+    def _create_store(graph: CSRGraph, kernel_arrays: dict) -> SharedArrayStore:
+        shared = dict(graph_arrays(graph))
+        for name, array in kernel_arrays.items():
+            shared[KERNEL_PREFIX + name] = array
+        return SharedArrayStore.create(shared, graph_name=graph.name)
 
     @property
     def workers(self) -> int:
@@ -183,6 +193,55 @@ class ParallelWalkEngine:
             stats.total_hops += int(merged_hops.sum())
             stats.per_query_hops.extend(int(h) for h in merged_hops)
         return results
+
+    def swap_graph(
+        self, graph: CSRGraph, kernel_arrays: dict | None = None
+    ) -> None:
+        """Point the live worker pool at a new graph version.
+
+        The pool and its processes survive — only the shared-memory
+        segment is replaced: the parent serializes the new graph (plus
+        prepared kernel state) into a fresh segment, broadcasts one
+        ``adopt_store`` task per worker (a barrier guarantees exactly-once
+        delivery), then unlinks the old segment.  ``kernel_arrays`` —
+        e.g. a dynamic snapshot's incrementally maintained state — skips
+        the parent-side ``kernel.prepare`` pass entirely; pass ``None``
+        to prepare from scratch.
+
+        Must not be called concurrently with :meth:`run` (the serving
+        layer serializes swaps onto epoch boundaries for exactly this
+        reason).
+        """
+        if self._pool is None:
+            raise WalkConfigError("parallel engine is closed")
+        if graph.num_vertices != self._graph.num_vertices:
+            # Shards planned against the old degree array would index out
+            # of range; a changed vertex universe needs a new engine.
+            raise WalkConfigError(
+                f"cannot swap to a graph with {graph.num_vertices} vertices; "
+                f"the engine was built for {self._graph.num_vertices}"
+            )
+        if kernel_arrays is None:
+            kernel = make_kernel(self._spec.make_sampler())
+            kernel.prepare(graph)
+            kernel_arrays = kernel.state_arrays()
+        new_store = self._create_store(graph, kernel_arrays)
+        try:
+            tasks = [(new_store.handle, self._untrack_attach)] * self._workers
+            pids = self._pool.map(_worker.adopt_store, tasks, chunksize=1)
+            if len(set(pids)) != self._workers:  # pragma: no cover - barrier guards this
+                raise WalkConfigError(
+                    f"graph swap reached {len(set(pids))} of {self._workers} "
+                    "workers"
+                )
+        except Exception:
+            new_store.close()
+            raise
+        old_store = self._store
+        self._store = new_store
+        old_store.close()
+        self._graph = graph
+        self._cost_model = QueryCostModel(graph, self._spec)
 
     def close(self) -> None:
         """Stop the workers and release the shared segment."""

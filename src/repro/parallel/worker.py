@@ -13,6 +13,8 @@ entry points picklable under every multiprocessing start method.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.parallel.shared_graph import (
@@ -40,21 +42,54 @@ _STORE: SharedArrayStore | None = None
 _GRAPH = None
 _SPEC = None
 _KERNEL = None
+_SWAP_BARRIER = None
 
 
-def init_worker(handle: SharedStoreHandle, spec, untrack_segment: bool = False) -> None:
+def init_worker(
+    handle: SharedStoreHandle,
+    spec,
+    untrack_segment: bool = False,
+    swap_barrier=None,
+) -> None:
     """Pool initializer: attach the shared graph and load kernel state.
 
     ``untrack_segment`` is True for spawned workers (private resource
     tracker) and False for forked ones (shared tracker) — see
-    :meth:`SharedArrayStore.attach`.
+    :meth:`SharedArrayStore.attach`.  ``swap_barrier`` (one party per
+    worker) synchronizes :func:`adopt_store` broadcasts during graph
+    swaps.
     """
-    global _STORE, _GRAPH, _SPEC, _KERNEL
+    global _STORE, _GRAPH, _SPEC, _KERNEL, _SWAP_BARRIER
     _STORE = SharedArrayStore.attach(handle, untrack=untrack_segment)
     _GRAPH = graph_from_store(_STORE)
     _SPEC = spec
     _KERNEL = make_kernel(spec.make_sampler())
     _KERNEL.load_state(kernel_state_from_store(_STORE))
+    _SWAP_BARRIER = swap_barrier
+
+
+def adopt_store(task):
+    """Swap this worker onto a new shared graph segment; returns its pid.
+
+    The engine broadcasts exactly one adopt task per worker.  Waiting at
+    the barrier *before* swapping pins every worker on one task each — a
+    worker blocked in the barrier cannot pull a second task off the pool
+    queue, so the broadcast cannot skip a worker.  The parent
+    cross-checks the returned pids anyway.
+    """
+    handle, untrack = task
+    global _STORE, _GRAPH, _KERNEL
+    if _SWAP_BARRIER is not None:
+        _SWAP_BARRIER.wait()
+    old_store = _STORE
+    _STORE = SharedArrayStore.attach(handle, untrack=untrack)
+    _GRAPH = graph_from_store(_STORE)
+    kernel = make_kernel(_SPEC.make_sampler())
+    kernel.load_state(kernel_state_from_store(_STORE))
+    _KERNEL = kernel
+    if old_store is not None:
+        old_store.close()
+    return os.getpid()
 
 
 def run_shard(task):

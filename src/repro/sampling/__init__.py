@@ -9,7 +9,12 @@ from repro.sampling.base import (
     Sampler,
     StepContext,
 )
-from repro.sampling.its import InverseTransformSampler, exact_distribution
+from repro.sampling.its import (
+    InverseTransformSampler,
+    build_its_cdf,
+    build_its_row_totals,
+    exact_distribution,
+)
 from repro.sampling.rejection import RejectionSampler
 from repro.sampling.reservoir import ReservoirSampler
 from repro.sampling.uniform import UniformSampler
@@ -36,5 +41,7 @@ __all__ = [
     "Sampler",
     "StepContext",
     "UniformSampler",
+    "build_its_cdf",
+    "build_its_row_totals",
     "exact_distribution",
 ]

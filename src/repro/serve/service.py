@@ -87,6 +87,19 @@ class _PendingRequest:
     submitted_at: float
 
 
+@dataclass
+class _EpochSwap:
+    """A graph-version change queued behind already-admitted requests.
+
+    Rides the same queue as requests, so ordering *is* the epoch
+    boundary: everything admitted before the swap executes on the old
+    version, everything after on the new one.
+    """
+
+    snapshot: object
+    future: asyncio.Future
+
+
 def _merge_engine_stats(into: EngineStats, part: EngineStats) -> None:
     """Fold one micro-batch's engine counters into the service total."""
     into.total_hops += part.total_hops
@@ -126,6 +139,10 @@ class WalkService:
     ) -> None:
         self._config = config or ServeConfig()
         self._seed = normalize_seed(seed)
+        # A dynamic GraphSnapshot may stand in for the graph; the service
+        # adopts its epoch label and serves its CSR.
+        self._initial_epoch = getattr(graph, "epoch", 0)
+        graph = getattr(graph, "graph", graph)
         if isinstance(engine, PreparedEngine):
             if engine_options:
                 raise ServeError(
@@ -135,7 +152,13 @@ class WalkService:
             self._runner = engine
         else:
             self._runner = prepare_engine(engine, graph, spec, **engine_options)
+        #: Vertex count of the graph version the *newest queued* swap
+        #: targets — requests admitted now execute after every queued
+        #: swap, so try_submit validates against this, not against the
+        #: currently executing version (tracked separately for rollback
+        #: when a queued swap fails to apply).
         self._num_vertices = graph.num_vertices
+        self._applied_num_vertices = graph.num_vertices
         self.stats = ServeStats()
         self.engine_stats = EngineStats()
         self._gate = AdmissionGate(self._config.queue_depth)
@@ -147,6 +170,7 @@ class WalkService:
         self._batch_tasks: set[asyncio.Task] = set()
         self._next_query_id = 0
         self._accepting = False
+        self._epoch = self._initial_epoch
 
     @property
     def config(self) -> ServeConfig:
@@ -166,6 +190,11 @@ class WalkService:
     def occupancy(self) -> int:
         """Requests admitted and not yet resolved."""
         return self._gate.occupancy
+
+    @property
+    def epoch(self) -> int:
+        """Version id of the graph new requests are served against."""
+        return self._epoch
 
     async def start(self) -> None:
         """Bring up the dispatcher; idempotent while running."""
@@ -209,15 +238,25 @@ class WalkService:
             pass
         for task in list(self._batch_tasks):
             await task
-        if not drain:
-            abandoned = 0
-            while not self._queue.empty():
-                request = self._queue.get_nowait()
-                if not request.future.done():
-                    request.future.set_exception(
-                        ServeError("service stopped before the request executed")
+        # Drain leftovers.  Requests only remain on a no-drain stop (the
+        # drained event guarantees none otherwise); epoch swaps can remain
+        # on any stop — they never count against the admission gate, so
+        # draining does not wait for them.  Either way, fail the futures
+        # so no caller hangs.
+        abandoned = 0
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if not item.future.done():
+                item.future.set_exception(
+                    ServeError(
+                        "service stopped before the "
+                        + ("graph swap" if isinstance(item, _EpochSwap) else "request")
+                        + " executed"
                     )
+                )
+            if not isinstance(item, _EpochSwap):
                 abandoned += 1
+        if abandoned:
             self._gate.release(abandoned)
             if self._gate.occupancy == 0:
                 self._drained.set()
@@ -281,6 +320,85 @@ class WalkService:
         """Admit one request and await its :class:`WalkResults` slice."""
         return await self.try_submit(start_vertex, query_id=query_id)
 
+    def try_update_graph(self, snapshot) -> asyncio.Future:
+        """Queue a graph swap *now*; returns the future of its epoch id.
+
+        The epoch boundary is the queue position at the moment of this
+        call — the synchronous-enqueue twin of :meth:`update_graph`, for
+        callers that must interleave a swap between two ``try_submit``
+        calls without yielding to the event loop in between.
+        """
+        if not self._accepting or self._queue is None:
+            raise ServeError("service is not running; use 'async with' or start()")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(_EpochSwap(snapshot, future))
+        # Requests admitted from this point on will execute after the
+        # swap, so admission validation must use the new graph's bounds
+        # immediately — not when the swap drains the queue.
+        graph = getattr(snapshot, "graph", snapshot)
+        self._num_vertices = graph.num_vertices
+        return future
+
+    async def update_graph(self, snapshot) -> int:
+        """Swap the service onto a new graph version; returns its epoch.
+
+        ``snapshot`` is a dynamic
+        :class:`~repro.dynamic.graph.GraphSnapshot` (whose prepared
+        sampler state makes the swap cheap and whose ``epoch`` labels the
+        version) or a plain :class:`CSRGraph` (epoch auto-incremented).
+        The swap is an *epoch boundary*, enforced by queue order: every
+        request admitted before this call executes on the old version —
+        including ones already in flight — and every request admitted
+        after it executes on the new one.  Micro-batches never span the
+        boundary.  Per-epoch determinism survives: a request's paths
+        replay bit-identically offline against its epoch's graph.
+
+        The engine swap itself preserves long-lived resources (the
+        parallel engine's worker pool survives; see
+        :meth:`repro.engines.PreparedEngine.swap_snapshot`).
+        """
+        return await self.try_update_graph(snapshot)
+
+    async def _apply_swap(self, swap: _EpochSwap) -> None:
+        """Execute one queued graph swap between micro-batches.
+
+        Holds *every* inflight permit while swapping, so no micro-batch
+        can be executing against the engine mid-swap; the permits also
+        order the swap after all batches flushed before it.
+        """
+        assert self._inflight is not None
+        loop = asyncio.get_running_loop()
+        acquired = 0
+        try:
+            for _ in range(self._config.max_inflight):
+                await self._inflight.acquire()
+                acquired += 1
+            await loop.run_in_executor(
+                self._executor, partial(self._runner.swap_snapshot, swap.snapshot)
+            )
+        except asyncio.CancelledError:
+            if not swap.future.done():
+                swap.future.set_exception(
+                    ServeError("service stopped before the graph swap executed")
+                )
+            raise
+        except Exception as exc:
+            # The service keeps serving the old graph; roll admission
+            # validation back to it (try_update_graph advanced the bound
+            # optimistically at enqueue time).
+            self._num_vertices = self._applied_num_vertices
+            if not swap.future.done():
+                swap.future.set_exception(exc)
+        else:
+            graph = getattr(swap.snapshot, "graph", swap.snapshot)
+            self._applied_num_vertices = graph.num_vertices
+            self._epoch = getattr(swap.snapshot, "epoch", self._epoch + 1)
+            if not swap.future.done():
+                swap.future.set_result(self._epoch)
+        finally:
+            for _ in range(acquired):
+                self._inflight.release()
+
     async def _dispatch_loop(self) -> None:
         """Coalesce requests into micro-batches and hand them off.
 
@@ -289,14 +407,20 @@ class WalkService:
         whichever comes first.  The hand-off acquires the inflight
         semaphore, so with ``max_inflight=1`` the loop collects batch
         N+1 while batch N executes — coalescing rides in the engine's
-        shadow instead of adding latency to it.
+        shadow instead of adding latency to it.  An :class:`_EpochSwap`
+        in the stream closes the open batch early (batches never span an
+        epoch boundary) and is applied once the batch is handed off.
         """
         assert self._queue is not None and self._inflight is not None
         loop = asyncio.get_running_loop()
         max_wait = self._config.max_wait_ms / 1e3
         while True:
             first = await self._queue.get()
+            if isinstance(first, _EpochSwap):
+                await self._apply_swap(first)
+                continue
             batch = [first]
+            pending_swap: _EpochSwap | None = None
             try:
                 deadline = loop.time() + max_wait
                 while len(batch) < self._config.max_batch:
@@ -306,19 +430,21 @@ class WalkService:
                     # burst that overhead would eat the coalescing window
                     # and flush chronically under-filled batches.
                     try:
-                        batch.append(self._queue.get_nowait())
-                        continue
+                        item = self._queue.get_nowait()
                     except asyncio.QueueEmpty:
-                        pass
-                    remaining = deadline - loop.time()
-                    if remaining <= 0:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            item = await asyncio.wait_for(
+                                self._queue.get(), remaining
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                    if isinstance(item, _EpochSwap):
+                        pending_swap = item
                         break
-                    try:
-                        batch.append(
-                            await asyncio.wait_for(self._queue.get(), remaining)
-                        )
-                    except asyncio.TimeoutError:
-                        break
+                    batch.append(item)
                 await self._inflight.acquire()
             except asyncio.CancelledError:
                 # Cancelled mid-coalesce (a no-drain stop): hand the
@@ -326,10 +452,14 @@ class WalkService:
                 # futures instead of leaving callers hanging.
                 for request in batch:
                     self._queue.put_nowait(request)
+                if pending_swap is not None:
+                    self._queue.put_nowait(pending_swap)
                 raise
             task = asyncio.create_task(self._execute(batch))
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)
+            if pending_swap is not None:
+                await self._apply_swap(pending_swap)
 
     async def _execute(self, batch: list[_PendingRequest]) -> None:
         """Run one micro-batch on the engine and resolve its futures."""

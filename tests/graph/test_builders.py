@@ -5,6 +5,43 @@ import pytest
 
 from repro.errors import GraphError
 from repro.graph import from_adjacency, from_adjacency_dict, from_edges
+from repro.graph.builders import validate_edge_weights
+
+
+class TestEdgeWeightValidation:
+    """Bad weights must fail loudly at build time, naming the edge —
+    not surface later as corrupt alias tables."""
+
+    @pytest.mark.parametrize("bad", [-1.0, 0.0, float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_bad_weight_rejected_with_edge_context(self, bad):
+        with pytest.raises(GraphError, match=r"edge 1 \(1 -> 2\)"):
+            from_edges([(0, 1), (1, 2)], weights=[1.0, bad])
+
+    def test_message_names_the_constraint(self):
+        with pytest.raises(GraphError, match="strictly positive and finite"):
+            from_edges([(0, 1)], weights=[-3.0])
+
+    def test_nan_rejected_despite_comparison_semantics(self):
+        # NaN compares False to everything; the finite check must catch it.
+        with pytest.raises(GraphError, match="edge 0"):
+            from_edges([(0, 1)], weights=[float("nan")])
+
+    def test_undirected_build_validates_before_mirroring(self):
+        # The reported index is the input edge's, not the mirrored copy's.
+        with pytest.raises(GraphError, match=r"edge 1 \(2 -> 0\)"):
+            from_edges([(0, 1), (2, 0)], weights=[1.0, -1.0], directed=False)
+
+    def test_valid_weights_pass(self):
+        g = from_edges([(0, 1), (1, 2)], weights=[0.5, 2.0])
+        assert g.is_weighted
+
+    def test_helper_accepts_empty(self):
+        validate_edge_weights(np.empty(0))
+
+    def test_helper_without_edge_context(self):
+        with pytest.raises(GraphError, match="edge 2 has"):
+            validate_edge_weights(np.array([1.0, 2.0, -5.0]))
 
 
 class TestFromEdges:

@@ -235,6 +235,41 @@ class TestInverseTransformSampler:
         assert outcome.index == 0
 
     @pytest.mark.parametrize("degree", [4, 200])
+    @pytest.mark.parametrize("weighted", [True, False],
+                             ids=["weighted", "unweighted"])
+    def test_prepared_path_bit_identical_to_unprepared(self, degree, weighted):
+        """prepare() (flat CDF rows + pairwise row totals) must reproduce
+        the per-draw cumsum path exactly: same index, same reads, for the
+        same uniform stream.  Degree 200 exercises the last-ulp gap
+        between pairwise and sequential totals."""
+        weight_rng = np.random.default_rng(degree)
+        g = from_edges(
+            [(0, 1 + i) for i in range(degree)] + [(1, 0)],
+            weights=(np.concatenate([
+                weight_rng.uniform(0.1, 3.0, size=degree), [1.0]])
+                if weighted else None),
+            num_vertices=degree + 1,
+        )
+        plain = InverseTransformSampler()
+        prepared = InverseTransformSampler()
+        prepared.prepare(g)
+        source_a, source_b = rng_source(3), rng_source(3)
+        for _ in range(2_000):
+            a = plain.sample(g, StepContext(vertex=0), source_a)
+            b = prepared.sample(g, StepContext(vertex=0), source_b)
+            assert a.index == b.index
+            assert a.neighbor_reads == b.neighbor_reads
+
+    def test_prepared_state_ignored_on_other_graph(self):
+        """State prepared for one graph must not leak onto another."""
+        g1, g2 = weighted_fan(), weighted_fan().reverse().reverse()
+        sampler = InverseTransformSampler()
+        sampler.prepare(g1)
+        # Sampling on a different graph object falls back cleanly.
+        dist = empirical(sampler, g2, StepContext(vertex=0), samples=2_000)
+        assert np.isclose(dist.sum(), 1.0)
+
+    @pytest.mark.parametrize("degree", [4, 200])
     def test_matches_scalar_scan_bit_for_bit(self, degree):
         """The cumsum+searchsorted fast path must reproduce the original
         sequential CDF scan exactly — same index, same reads — for the

@@ -1,0 +1,242 @@
+"""WalkService.update_graph: epoch boundaries, determinism, lifecycle.
+
+The contract under test: a queued graph swap is an epoch boundary —
+requests admitted before it (including in-flight micro-batches) execute
+on the old snapshot, requests admitted after it on the new one, batches
+never span it, and every request replays bit-identically offline against
+its epoch's graph.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph
+from repro.engines import PreparedEngine
+from repro.errors import ServeError
+from repro.graph import from_edges
+from repro.serve import ServeConfig, WalkService, replay_paths
+from repro.walks import URWSpec, WalkResults
+
+
+def two_epochs():
+    """Epoch 0 walks a forward ring, epoch 1 the reversed ring — URW on
+    degree-1 vertices is deterministic, so paths identify the epoch."""
+    n = 8
+    forward = from_edges([(i, (i + 1) % n) for i in range(n)], num_vertices=n)
+    dynamic = DynamicGraph(forward)
+    snap0 = dynamic.snapshot()
+    dynamic.remove_edges([(i, (i + 1) % n) for i in range(n)])
+    dynamic.add_edges([(i, (i - 1) % n) for i in range(n)])
+    snap1 = dynamic.snapshot()
+    return snap0, snap1
+
+
+SPEC = URWSpec(max_length=4)
+
+
+class TestEpochBoundary:
+    def test_boundary_splits_old_and_new_requests(self):
+        snap0, snap1 = two_epochs()
+
+        async def scenario():
+            config = ServeConfig(max_batch=64, max_wait_ms=20.0, queue_depth=64)
+            async with WalkService(snap0, SPEC, engine="batch", seed=7,
+                                   config=config) as service:
+                assert service.epoch == 0
+                old = [service.try_submit(i, query_id=i) for i in range(4)]
+                swap = service.try_update_graph(snap1)
+                new = [service.try_submit(i, query_id=100 + i) for i in range(4)]
+                old_results = await asyncio.gather(*old)
+                epoch = await swap
+                new_results = await asyncio.gather(*new)
+                assert epoch == 1 and service.epoch == 1
+                return old_results, new_results
+
+        old_results, new_results = asyncio.run(scenario())
+        oracle_old = replay_paths(snap0.graph, SPEC,
+                                  {i: i for i in range(4)}, seed=7)
+        oracle_new = replay_paths(snap1.graph, SPEC,
+                                  {100 + i: i for i in range(4)}, seed=7)
+        for i, result in enumerate(old_results):
+            assert np.array_equal(result.paths[0], oracle_old[i])
+        for i, result in enumerate(new_results):
+            assert np.array_equal(result.paths[0], oracle_new[100 + i])
+
+    def test_in_flight_batch_completes_on_old_snapshot(self):
+        """A request already executing when the swap is queued still
+        resolves against the old epoch's graph."""
+        snap0, snap1 = two_epochs()
+
+        async def scenario():
+            # max_batch=1 forces the first request straight into execution.
+            config = ServeConfig(max_batch=1, max_wait_ms=0.0, queue_depth=64)
+            async with WalkService(snap0, SPEC, engine="batch", seed=7,
+                                   config=config) as service:
+                in_flight = service.try_submit(0, query_id=0)
+                await asyncio.sleep(0.02)  # request is in (or past) execution
+                epoch = await service.update_graph(snap1)
+                assert epoch == 1
+                late = await service.submit(0, query_id=1)
+                return await in_flight, late
+
+        first, late = asyncio.run(scenario())
+        assert np.array_equal(
+            first.paths[0], replay_paths(snap0.graph, SPEC, {0: 0}, seed=7)[0]
+        )
+        assert np.array_equal(
+            late.paths[0], replay_paths(snap1.graph, SPEC, {1: 0}, seed=7)[1]
+        )
+
+    def test_replay_is_bit_identical_per_epoch_across_engines(self):
+        snap0, snap1 = two_epochs()
+
+        for engine in ("batch", "reference"):
+
+            async def scenario():
+                config = ServeConfig(max_batch=8, max_wait_ms=5.0,
+                                     queue_depth=64)
+                async with WalkService(snap0, SPEC, engine=engine, seed=3,
+                                       config=config) as service:
+                    old = [service.try_submit(i, query_id=i) for i in range(6)]
+                    service.try_update_graph(snap1)
+                    new = [service.try_submit(i, query_id=50 + i)
+                           for i in range(6)]
+                    return (await asyncio.gather(*old),
+                            await asyncio.gather(*new))
+
+            old_results, new_results = asyncio.run(scenario())
+            oracle_old = replay_paths(snap0.graph, SPEC,
+                                      {i: i for i in range(6)}, seed=3)
+            oracle_new = replay_paths(snap1.graph, SPEC,
+                                      {50 + i: i for i in range(6)}, seed=3)
+            for i, result in enumerate(old_results):
+                assert np.array_equal(result.paths[0], oracle_old[i]), engine
+            for i, result in enumerate(new_results):
+                assert np.array_equal(result.paths[0], oracle_new[50 + i]), engine
+
+
+class TestEpochLabels:
+    def test_plain_csr_graph_auto_increments(self):
+        snap0, snap1 = two_epochs()
+
+        async def scenario():
+            async with WalkService(snap0.graph, SPEC, engine="batch",
+                                   seed=1) as service:
+                assert service.epoch == 0
+                assert await service.update_graph(snap1.graph) == 1
+                assert await service.update_graph(snap0.graph) == 2
+                return service.epoch
+
+        assert asyncio.run(scenario()) == 2
+
+    def test_snapshot_epoch_is_adopted(self):
+        snap0, snap1 = two_epochs()
+
+        async def scenario():
+            async with WalkService(snap0, SPEC, engine="batch",
+                                   seed=1) as service:
+                return await service.update_graph(snap1)
+
+        assert asyncio.run(scenario()) == snap1.epoch == 1
+
+
+class TestAdmissionBounds:
+    def test_requests_after_queued_swap_validate_against_new_graph(self):
+        """A vertex that only exists in the swapped-in graph must be
+        admissible immediately after try_update_graph, even before the
+        swap drains the queue — it will execute on the new graph."""
+        small = from_edges([(0, 1), (1, 0)], num_vertices=2)
+        big = from_edges([(i, (i + 1) % 6) for i in range(6)], num_vertices=6)
+
+        async def scenario():
+            async with WalkService(small, SPEC, engine="batch",
+                                   seed=5) as service:
+                swap = service.try_update_graph(big)
+                grown = service.try_submit(5, query_id=0)  # only in `big`
+                await swap
+                return await grown
+
+        result = asyncio.run(scenario())
+        assert np.array_equal(
+            result.paths[0], replay_paths(big, SPEC, {0: 5}, seed=5)[0]
+        )
+
+    def test_shrinking_swap_rejects_out_of_range_immediately(self):
+        small = from_edges([(0, 1), (1, 0)], num_vertices=2)
+        big = from_edges([(i, (i + 1) % 6) for i in range(6)], num_vertices=6)
+
+        async def scenario():
+            async with WalkService(big, SPEC, engine="batch",
+                                   seed=5) as service:
+                service.try_update_graph(small)
+                with pytest.raises(Exception, match="out of range"):
+                    service.try_submit(5, query_id=0)
+
+        asyncio.run(scenario())
+
+
+class TestLifecycle:
+    def test_update_requires_running_service(self):
+        snap0, _ = two_epochs()
+
+        async def scenario():
+            service = WalkService(snap0, SPEC, engine="batch")
+            with pytest.raises(ServeError, match="not running"):
+                await service.update_graph(snap0)
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_stop_fails_unexecuted_swap_future(self):
+        snap0, snap1 = two_epochs()
+
+        class StubEngine(PreparedEngine):
+            name = "stub"
+
+            def run(self, queries, seed=0, stats=None):  # pragma: no cover
+                results = WalkResults()
+                for query in queries:
+                    results.add_path([query.start_vertex])
+                return results
+
+        async def scenario():
+            service = WalkService(snap0.graph, SPEC, engine=StubEngine())
+            await service.start()
+            # Queue a swap but stop before the dispatcher can apply it:
+            # no-drain stop cancels the dispatcher immediately.
+            future = service.try_update_graph(snap1)
+            await service.stop(drain=False)
+            with pytest.raises(ServeError, match="graph swap"):
+                await future
+
+        asyncio.run(scenario())
+
+    def test_swap_failure_propagates_to_caller_only(self):
+        """An engine that cannot swap fails the update future; requests
+        around it still serve on the old graph."""
+        snap0, snap1 = two_epochs()
+
+        class NoSwapEngine(PreparedEngine):
+            name = "no-swap"
+
+            def run(self, queries, seed=0, stats=None):
+                results = WalkResults()
+                for query in queries:
+                    results.add_path([query.start_vertex, query.query_id])
+                return results
+
+        async def scenario():
+            async with WalkService(snap0.graph, SPEC,
+                                   engine=NoSwapEngine()) as service:
+                before = service.try_submit(2, query_id=0)
+                swap = service.try_update_graph(snap1)
+                after = service.try_submit(3, query_id=1)
+                assert (await before).paths[0].tolist() == [2, 0]
+                with pytest.raises(Exception, match="does not support"):
+                    await swap
+                assert (await after).paths[0].tolist() == [3, 1]
+                assert service.epoch == 0
+
+        asyncio.run(scenario())
