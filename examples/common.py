@@ -14,28 +14,38 @@ from repro.engines import (
     run_accelerator_walks,
     run_software_walks,
 )
+from repro.sampling.hybrid import SAMPLER_MODES
 
 
 def add_engine_arguments(parser, default: str = "batch") -> None:
-    """The engine flags every example shares (--engine, --workers)."""
+    """The engine flags every example shares (--engine, --workers,
+    --sampler)."""
     parser.add_argument("--engine", choices=ENGINE_CHOICES, default=default)
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes (parallel engine only; "
                         "default: all cores)")
+    parser.add_argument("--sampler", choices=SAMPLER_MODES, default="default",
+                        help="sampling backend (software engines only): "
+                        "'auto' = per-row hybrid strategy selection")
 
 
-def run_with_engine(engine: str, graph, spec, queries, seed: int, workers=None):
+def run_with_engine(engine: str, graph, spec, queries, seed: int, workers=None,
+                    sampler: str = "default"):
     """Run the walks on the selected engine, returning WalkResults."""
     if workers is not None and engine != "parallel":
         # Same contract as the CLI and the registry: a misdirected option
         # fails loudly instead of being silently ignored.
         raise SystemExit("error: --workers only applies to the parallel engine")
     if engine == "sim":
+        if sampler != "default":
+            raise SystemExit(
+                "error: --sampler only applies to the software engines"
+            )
         run = run_accelerator_walks(graph, spec, queries, seed=seed)
         print(f"accelerator: {run.metrics.summary()}")
         return run.results
     results, elapsed = run_software_walks(
-        engine, graph, spec, queries, seed=seed, workers=workers
+        engine, graph, spec, queries, seed=seed, workers=workers, sampler=sampler
     )
     print(f"{engine} engine: {results.total_steps} hops in {elapsed:.3f}s "
           f"({hops_per_second(results.total_steps, elapsed):,.0f} hops/s)")

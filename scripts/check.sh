@@ -4,17 +4,34 @@
 # sharded parallel engine (2 workers, small graph) must produce
 # bit-identical results to the batch engine, the async walk service
 # must shed zero requests under nominal open-loop load while replaying
-# bit-identically offline, and the dynamic subsystem must publish
+# bit-identically offline, the dynamic subsystem must publish
 # snapshots bit-identical to from-scratch builds after a streamed
-# update trace.  (The machine-readable BENCH_*.json perf records are
-# rewritten by the *full* benchmark runs, not by these smokes.)
+# update trace, and the hybrid auto sampler must stay bit-identical to
+# fixed-strategy kernels under forced selection maps.  (The
+# machine-readable BENCH_*.json perf records are rewritten by the
+# *full* benchmark runs, not by these smokes.)
+#
+# When pytest-cov is installed (it is in CI; see requirements-ci.txt),
+# the suite runs under a coverage gate on the sampling + dynamic
+# packages — the floor sits just below measured coverage so genuinely
+# untested new code fails the lane, and the XML report lands next to
+# the BENCH_*.json artifacts.  Without pytest-cov the suite runs plain,
+# so local checks need no extra installs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
-python -m pytest -x -q
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+  python -m pytest -x -q \
+    --cov=repro.sampling --cov=repro.dynamic \
+    --cov-report=term --cov-report=xml:benchmarks/coverage.xml \
+    --cov-fail-under=93
+else
+  echo "(pytest-cov not installed; running without the coverage gate)"
+  python -m pytest -x -q
+fi
 
 echo
 echo "== batch engine smoke benchmark =="
@@ -31,3 +48,7 @@ python benchmarks/bench_serve.py --smoke
 echo
 echo "== dynamic smoke (update trace + snapshot-equivalence check) =="
 python benchmarks/bench_dynamic.py --smoke
+
+echo
+echo "== hybrid smoke (auto vs fixed strategies, conformance + throughput) =="
+python benchmarks/bench_hybrid.py --smoke

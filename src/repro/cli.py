@@ -23,6 +23,7 @@ from repro.bench.experiments import EXPERIMENTS
 from repro.bench.workloads import make_spec
 from repro.core import RidgeWalker, RidgeWalkerConfig
 from repro.engines import ENGINES, hops_per_second, run_software_walks
+from repro.sampling.hybrid import SAMPLER_MODES
 from repro.errors import ReproError, WalkConfigError
 from repro.graph import dataset_names, load_dataset, load_edge_list, load_npz
 from repro.graph.datasets import assign_metapath_schema
@@ -70,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--workers", type=int, default=None,
                       help="worker processes (parallel engine only; "
                       "default: all cores)")
+    walk.add_argument("--sampler", choices=SAMPLER_MODES, default="default",
+                      help="sampling backend (software engines only): "
+                      "'default' = the algorithm's single-strategy sampler, "
+                      "'auto' = cost-model-driven per-row hybrid "
+                      "(alias / ITS flat-CDF / rejection / uniform)")
     walk.add_argument(
         "--dataset", default="WG",
         help=f"Table II dataset ({', '.join(dataset_names())}) or a path to "
@@ -105,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution engine behind the service (default batch)")
     serve.add_argument("--workers", type=int, default=None,
                        help="worker processes (parallel engine only)")
+    serve.add_argument("--sampler", choices=SAMPLER_MODES, default="auto",
+                       help="sampling backend behind the service (default "
+                       "auto: per-row hybrid strategy selection)")
     serve.add_argument("--dataset", default="WG",
                        help=f"Table II dataset ({', '.join(dataset_names())}) or "
                        "a path to a .npz / edge-list graph file")
@@ -185,7 +194,7 @@ def _run_software_engine(args, graph, spec, queries) -> int:
     stats = EngineStats()
     results, elapsed = run_software_walks(
         args.engine, graph, spec, queries, seed=args.seed + 2, stats=stats,
-        workers=args.workers,
+        workers=args.workers, sampler=args.sampler,
     )
     print(f"\n{args.engine} engine: {stats.total_hops} hops in {elapsed:.3f}s "
           f"({hops_per_second(stats.total_hops, elapsed):,.0f} hops/s)")
@@ -220,6 +229,11 @@ def cmd_walk(args) -> int:
                 f"{flag} only applies to the {engine} engine; drop it or "
                 f"use --engine {engine}"
             )
+    if args.engine == "sim" and args.sampler != "default":
+        raise WalkConfigError(
+            "--sampler only applies to the software engines; the accelerator "
+            "model fixes its sampling datapath per algorithm (Table I)"
+        )
 
     graph = _load_graph(args)
     spec = make_spec(args.algorithm)
@@ -288,10 +302,12 @@ def cmd_serve_bench(args) -> int:
           f"length {args.length}, "
           + (f"Poisson {args.rate:,.0f} req/s" if args.rate > 0
              else "saturation arrivals"))
-    print(f"service: engine={args.engine}, max_batch={args.max_batch}, "
-          f"max_wait={args.max_wait_ms}ms, depth={depth}")
+    print(f"service: engine={args.engine}, sampler={args.sampler}, "
+          f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
+          f"depth={depth}")
 
     engine_options = {"workers": args.workers} if args.engine == "parallel" else {}
+    engine_options["sampler"] = args.sampler
     report, service = serve_open_loop(
         lambda: WalkService(graph, spec, engine=args.engine,
                             seed=args.seed + 2, config=config, **engine_options),

@@ -122,7 +122,8 @@ def snapshot_matches_static(
         pairs.append((dynamic_graph.weights, graph.weights))
     pairs.extend(
         (snapshot.sampler_state.arrays()[name], state.arrays()[name])
-        for name in ("alias_prob", "alias_index", "its_cdf", "edge_keys")
+        for name in ("alias_prob", "alias_index", "its_cdf", "its_row_totals",
+                     "edge_keys", "strategy")
     )
     return all(np.array_equal(a, b) for a, b in pairs)
 

@@ -31,9 +31,16 @@ import numpy as np
 from repro.errors import DynamicGraphError
 from repro.graph.alias import build_alias_slots, build_alias_table
 from repro.graph.csr import CSRGraph
+from repro.sampling.hybrid import (
+    HybridKernel,
+    resolve_strategy_codes,
+    select_row_strategy,
+    select_strategies,
+)
 from repro.sampling.its import build_its_cdf, build_its_row_totals
 from repro.sampling.vectorized import (
     AliasKernel,
+    ITSKernel,
     RejectionKernel,
     ReservoirKernel,
     VectorizedKernel,
@@ -60,10 +67,16 @@ class SamplerState:
     its_cdf: np.ndarray
     its_row_totals: np.ndarray
     edge_keys: np.ndarray
+    #: Per-vertex hybrid strategy codes, shape ``(num_vertices, 2)`` —
+    #: the cost model's first-order and second-order choices (see
+    #: :func:`repro.sampling.hybrid.select_strategies`), maintained with
+    #: the default :class:`~repro.sampling.hybrid.HybridConfig` so a
+    #: snapshot's selection map matches any freshly auto-prepared engine.
+    strategy: np.ndarray
 
     def __post_init__(self) -> None:
         for array in (self.alias_prob, self.alias_index, self.its_cdf,
-                      self.its_row_totals, self.edge_keys):
+                      self.its_row_totals, self.edge_keys, self.strategy):
             array.setflags(write=False)
         if not (
             self.alias_prob.shape
@@ -72,6 +85,10 @@ class SamplerState:
             == self.edge_keys.shape
         ):
             raise DynamicGraphError("sampler state arrays must align")
+        if self.strategy.shape != (self.its_row_totals.size, 2):
+            raise DynamicGraphError(
+                "strategy map must hold one (first, second)-order pair per vertex"
+            )
 
     @classmethod
     def full_build(cls, graph: CSRGraph) -> "SamplerState":
@@ -85,6 +102,7 @@ class SamplerState:
             its_cdf=build_its_cdf(graph),
             its_row_totals=build_its_row_totals(graph),
             edge_keys=build_edge_keys(graph),
+            strategy=select_strategies(graph),
         )
 
     @property
@@ -100,6 +118,7 @@ class SamplerState:
             "its_cdf": self.its_cdf,
             "its_row_totals": self.its_row_totals,
             "edge_keys": self.edge_keys,
+            "strategy": self.strategy,
         }
 
     def load_its_sampler(self, sampler, graph: CSRGraph) -> None:
@@ -118,8 +137,20 @@ class SamplerState:
         sampling, first-order reservoir), so a swap can skip both the load
         and any shared-memory broadcast.
         """
+        if isinstance(kernel, HybridKernel):
+            # Same collapse the kernel's own prepare would run (dynamic
+            # graphs carry no edge types), so a snapshot hand-off and a
+            # fresh auto prepare agree on every row's strategy.
+            arrays = {
+                "hybrid_strategy": resolve_strategy_codes(kernel.base, self.strategy)
+            }
+            for sub in kernel.sub_state_names():
+                arrays[sub] = self.arrays()[sub]
+            return arrays
         if isinstance(kernel, AliasKernel):
             return {"alias_prob": self.alias_prob, "alias_index": self.alias_index}
+        if isinstance(kernel, ITSKernel):
+            return {"its_cdf": self.its_cdf, "its_row_totals": self.its_row_totals}
         if isinstance(kernel, RejectionKernel):
             return {"edge_keys": self.edge_keys}
         if isinstance(kernel, ReservoirKernel):
@@ -209,10 +240,17 @@ def advance_graph_and_state(
     alias_index[clean_dst] = prev_state.alias_index[clean_src]
     its_cdf[clean_dst] = prev_state.its_cdf[clean_src]
     its_row_totals = prev_state.its_row_totals.copy()
+    # Clean rows keep their strategy; dirty rows re-enter the cost model
+    # below with the same row-local function a full build uses, so the
+    # selection map stays bit-identical to from-scratch selection.
+    strategy = prev_state.strategy.copy()
 
     for vertex, (cols, row_weights) in dirty_rows.items():
         lo, hi = int(row_ptr[vertex]), int(row_ptr[vertex + 1])
         degree = hi - lo
+        strategy[vertex] = select_row_strategy(
+            degree, row_weights if weighted else None
+        )
         if degree == 0:
             its_row_totals[vertex] = 0.0
             continue
@@ -246,5 +284,6 @@ def advance_graph_and_state(
         its_cdf=its_cdf,
         its_row_totals=its_row_totals,
         edge_keys=edge_keys,
+        strategy=strategy,
     )
     return graph, state

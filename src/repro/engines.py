@@ -25,7 +25,11 @@ from repro.errors import WalkConfigError
 from repro.graph.csr import CSRGraph
 from repro.memory.spec import HBM2_U55C
 from repro.parallel import ParallelWalkEngine, run_walks_parallel
-from repro.sampling.vectorized import make_kernel
+from repro.sampling.hybrid import (
+    SAMPLER_MODES,
+    make_walk_kernel,
+    validate_sampler_mode,
+)
 from repro.walks import EngineStats, Query, WalkResults, WalkSpec, run_walks, run_walks_batch
 from repro.walks.batch import check_batch_spec
 
@@ -40,16 +44,27 @@ SOFTWARE_ENGINES = {
 }
 
 #: Extra keyword options each software engine accepts beyond the shared
-#: ``(graph, spec, queries, seed, stats)`` signature.
+#: ``(graph, spec, queries, seed, stats)`` signature.  ``sampler``
+#: (``"default"`` | ``"auto"``) picks the sampling backend on every
+#: engine: auto runs the cost-model-driven per-row hybrid of
+#: :mod:`repro.sampling.hybrid`.
 ENGINE_OPTIONS: dict[str, frozenset[str]] = {
-    "batch": frozenset(),
-    "parallel": frozenset({"workers"}),
-    "reference": frozenset(),
+    "batch": frozenset({"sampler"}),
+    "parallel": frozenset({"workers", "sampler"}),
+    "reference": frozenset({"sampler"}),
 }
 
 
 def _validate_engine_options(engine: str, options: dict) -> dict:
-    """Drop ``None``-valued options and reject ones ``engine`` lacks."""
+    """Drop ``None``-valued options and reject ones ``engine`` lacks.
+
+    This is the one shared validation point for every entry path
+    (one-shot runs, prepared engines, the serving layer): option *names*
+    are checked against the engine's declared set, and the ``sampler``
+    option's *value* is checked against :data:`SAMPLER_MODES` so a typo
+    fails here, naming the valid choices, instead of deep inside a
+    kernel factory (or, worse, inside a worker process).
+    """
     if engine not in SOFTWARE_ENGINES:
         raise WalkConfigError(
             f"unknown software engine {engine!r}; expected one of "
@@ -63,6 +78,8 @@ def _validate_engine_options(engine: str, options: dict) -> dict:
             f"{', '.join(sorted(unknown))}; it accepts "
             f"{sorted(ENGINE_OPTIONS[engine]) or 'no options'}"
         )
+    if "sampler" in options:
+        validate_sampler_mode(options["sampler"])
     return options
 
 
@@ -161,12 +178,14 @@ class _PreparedReferenceEngine(PreparedEngine):
 
     name = "reference"
 
-    def __init__(self, graph: CSRGraph, spec: WalkSpec) -> None:
+    def __init__(self, graph: CSRGraph, spec: WalkSpec, sampler: str = "default") -> None:
         self._graph = graph
         self._spec = spec
+        self._sampler_mode = validate_sampler_mode(sampler)
 
     def run(self, queries, seed=0, stats=None):
-        return run_walks(self._graph, self._spec, queries, seed=seed, stats=stats)
+        return run_walks(self._graph, self._spec, queries, seed=seed, stats=stats,
+                         sampler=self._sampler_mode)
 
     def swap_snapshot(self, snapshot) -> None:
         # The scalar samplers re-prepare per run; only the graph swaps.
@@ -178,11 +197,12 @@ class _PreparedBatchEngine(PreparedEngine):
 
     name = "batch"
 
-    def __init__(self, graph: CSRGraph, spec: WalkSpec) -> None:
+    def __init__(self, graph: CSRGraph, spec: WalkSpec, sampler: str = "default") -> None:
         check_batch_spec(spec)
         self._graph = graph
         self._spec = spec
-        self._kernel = make_kernel(spec.make_sampler())
+        self._sampler_mode = validate_sampler_mode(sampler)
+        self._kernel = make_walk_kernel(spec.make_sampler(), sampler)
         self._kernel.prepare(graph)
 
     def run(self, queries, seed=0, stats=None):
@@ -193,7 +213,7 @@ class _PreparedBatchEngine(PreparedEngine):
 
     def swap_snapshot(self, snapshot) -> None:
         graph, state = _resolve_snapshot(snapshot)
-        kernel = make_kernel(self._spec.make_sampler())
+        kernel = make_walk_kernel(self._spec.make_sampler(), self._sampler_mode)
         arrays = state.kernel_arrays(kernel) if state is not None else None
         if arrays:
             kernel.load_state(arrays)
@@ -209,9 +229,12 @@ class _PreparedParallelEngine(PreparedEngine):
 
     name = "parallel"
 
-    def __init__(self, graph: CSRGraph, spec: WalkSpec, workers: int | None = None) -> None:
+    def __init__(self, graph: CSRGraph, spec: WalkSpec, workers: int | None = None,
+                 sampler: str = "default") -> None:
         self._spec = spec
-        self._engine = ParallelWalkEngine(graph, spec, workers=workers)
+        self._sampler_mode = validate_sampler_mode(sampler)
+        self._engine = ParallelWalkEngine(graph, spec, workers=workers,
+                                          sampler=sampler)
 
     def run(self, queries, seed=0, stats=None):
         return self._engine.run(queries, seed=seed, stats=stats)
@@ -220,7 +243,9 @@ class _PreparedParallelEngine(PreparedEngine):
         graph, state = _resolve_snapshot(snapshot)
         arrays = None
         if state is not None:
-            arrays = state.kernel_arrays(make_kernel(self._spec.make_sampler()))
+            arrays = state.kernel_arrays(
+                make_walk_kernel(self._spec.make_sampler(), self._sampler_mode)
+            )
         self._engine.swap_graph(graph, kernel_arrays=arrays)
 
     def close(self) -> None:

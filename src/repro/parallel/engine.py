@@ -35,7 +35,7 @@ from repro.graph.csr import CSRGraph
 from repro.parallel import worker as _worker
 from repro.parallel.planner import QueryCostModel, plan_shards
 from repro.parallel.shared_graph import KERNEL_PREFIX, SharedArrayStore, graph_arrays
-from repro.sampling.vectorized import make_kernel
+from repro.sampling.hybrid import make_walk_kernel, validate_sampler_mode
 from repro.walks.base import Query, WalkResults, WalkSpec, split_path_buffer
 from repro.walks.batch import check_batch_spec
 from repro.walks.reference import EngineStats
@@ -82,8 +82,10 @@ class ParallelWalkEngine:
         spec: WalkSpec,
         workers: int | None = None,
         shards_per_worker: int = 4,
+        sampler: str = "default",
     ) -> None:
         check_batch_spec(spec)
+        validate_sampler_mode(sampler)
         if workers is not None and workers < 1:
             raise WalkConfigError(f"workers must be >= 1, got {workers}")
         if shards_per_worker < 1:
@@ -92,6 +94,7 @@ class ParallelWalkEngine:
             )
         self._graph = graph
         self._spec = spec
+        self._sampler_mode = sampler
         self._workers = workers or default_workers()
         # Oversharding streams results back while later shards still
         # compute, hiding the parent's merge cost behind worker time; it
@@ -99,7 +102,7 @@ class ParallelWalkEngine:
         self._shards_per_worker = shards_per_worker
         self._cost_model = QueryCostModel(graph, spec)
 
-        kernel = make_kernel(spec.make_sampler())
+        kernel = make_walk_kernel(spec.make_sampler(), sampler)
         kernel.prepare(graph)
         self._store = self._create_store(graph, kernel.state_arrays())
         self._pool = None
@@ -117,7 +120,7 @@ class ParallelWalkEngine:
                 processes=self._workers,
                 initializer=_worker.init_worker,
                 initargs=(self._store.handle, spec, self._untrack_attach,
-                          self._swap_barrier),
+                          self._swap_barrier, sampler),
             )
         except Exception:
             self._store.close()
@@ -222,7 +225,7 @@ class ParallelWalkEngine:
                 f"the engine was built for {self._graph.num_vertices}"
             )
         if kernel_arrays is None:
-            kernel = make_kernel(self._spec.make_sampler())
+            kernel = make_walk_kernel(self._spec.make_sampler(), self._sampler_mode)
             kernel.prepare(graph)
             kernel_arrays = kernel.state_arrays()
         new_store = self._create_store(graph, kernel_arrays)
@@ -271,6 +274,7 @@ def run_walks_parallel(
     seed: int = 0,
     stats: EngineStats | None = None,
     workers: int | None = None,
+    sampler: str = "default",
 ) -> WalkResults:
     """One-shot parallel execution (``--engine parallel``).
 
@@ -278,5 +282,5 @@ def run_walks_parallel(
     should hold a :class:`ParallelWalkEngine` instead so pool and
     shared-graph setup amortize across requests.
     """
-    with ParallelWalkEngine(graph, spec, workers=workers) as engine:
+    with ParallelWalkEngine(graph, spec, workers=workers, sampler=sampler) as engine:
         return engine.run(queries, seed=seed, stats=stats)

@@ -23,7 +23,7 @@ from repro.parallel.shared_graph import (
     graph_from_store,
     kernel_state_from_store,
 )
-from repro.sampling.vectorized import make_kernel
+from repro.sampling.hybrid import make_walk_kernel
 from repro.walks.base import compact_path_matrix
 from repro.walks.batch import run_walks_batch_arrays
 from repro.walks.reference import EngineStats
@@ -43,6 +43,7 @@ _GRAPH = None
 _SPEC = None
 _KERNEL = None
 _SWAP_BARRIER = None
+_SAMPLER_MODE = "default"
 
 
 def init_worker(
@@ -50,6 +51,7 @@ def init_worker(
     spec,
     untrack_segment: bool = False,
     swap_barrier=None,
+    sampler_mode: str = "default",
 ) -> None:
     """Pool initializer: attach the shared graph and load kernel state.
 
@@ -57,13 +59,16 @@ def init_worker(
     tracker) and False for forked ones (shared tracker) — see
     :meth:`SharedArrayStore.attach`.  ``swap_barrier`` (one party per
     worker) synchronizes :func:`adopt_store` broadcasts during graph
-    swaps.
+    swaps.  ``sampler_mode`` picks the kernel family (``"auto"`` =
+    hybrid) — the parent broadcasts the prepared state either way, so
+    workers only instantiate the matching shell and load it.
     """
-    global _STORE, _GRAPH, _SPEC, _KERNEL, _SWAP_BARRIER
+    global _STORE, _GRAPH, _SPEC, _KERNEL, _SWAP_BARRIER, _SAMPLER_MODE
     _STORE = SharedArrayStore.attach(handle, untrack=untrack_segment)
     _GRAPH = graph_from_store(_STORE)
     _SPEC = spec
-    _KERNEL = make_kernel(spec.make_sampler())
+    _SAMPLER_MODE = sampler_mode
+    _KERNEL = make_walk_kernel(spec.make_sampler(), sampler_mode)
     _KERNEL.load_state(kernel_state_from_store(_STORE))
     _SWAP_BARRIER = swap_barrier
 
@@ -84,7 +89,7 @@ def adopt_store(task):
     old_store = _STORE
     _STORE = SharedArrayStore.attach(handle, untrack=untrack)
     _GRAPH = graph_from_store(_STORE)
-    kernel = make_kernel(_SPEC.make_sampler())
+    kernel = make_walk_kernel(_SPEC.make_sampler(), _SAMPLER_MODE)
     kernel.load_state(kernel_state_from_store(_STORE))
     _KERNEL = kernel
     if old_store is not None:

@@ -39,6 +39,7 @@ from repro.graph.alias import AliasTable, build_alias_table
 from repro.graph.csr import CSRGraph
 from repro.sampling.alias_sampler import AliasSampler
 from repro.sampling.base import Sampler, normalize_seed
+from repro.sampling.its import InverseTransformSampler, build_its_cdf, build_its_row_totals
 from repro.sampling.rejection import _MAX_REJECTION_ROUNDS, RejectionSampler
 from repro.sampling.reservoir import ReservoirSampler
 from repro.sampling.uniform import UniformSampler
@@ -255,6 +256,96 @@ def edges_exist(
     return edge_keys[pos] == keys
 
 
+class HubAdjacency:
+    """Dense neighbor bitmaps for heavy rows: O(1) exact adjacency probes.
+
+    The sorted-edge-key probe behind :func:`edges_exist` costs a
+    ``log2(|E|)``-step binary search over a multi-megabyte array — and on
+    skewed graphs most second-order probes ask about a *hub* row.  For
+    rows above a degree threshold this structure stores the neighbor set
+    as one dense bitmap (8 bytes per 64 vertices), so a probe is a
+    two-gather bit test.  Exact membership, no false positives: callers
+    may substitute it for :func:`edges_exist` wherever ``rank[src] >= 0``
+    without changing a single decision.
+    """
+
+    def __init__(self, rank: np.ndarray, bits: np.ndarray) -> None:
+        self.rank = rank
+        self.bits = bits
+
+    @classmethod
+    def build(
+        cls, graph: CSRGraph, min_degree: int, max_bytes: int
+    ) -> "HubAdjacency | None":
+        """Bitmap the heaviest rows of ``graph`` (None when disabled, no
+        row qualifies, or not even one row fits the byte budget)."""
+        if min_degree < 1 or max_bytes <= 0:
+            return None
+        degrees = graph.degrees()
+        words = (graph.num_vertices + 63) // 64
+        max_rows = int(max_bytes // (words * 8))
+        if max_rows == 0:
+            return None
+        hubs = np.nonzero(degrees >= min_degree)[0]
+        if hubs.size == 0:
+            return None
+        if hubs.size > max_rows:
+            # Keep the heaviest rows — they absorb the most probes.
+            order = np.argsort(degrees[hubs], kind="stable")[::-1][:max_rows]
+            hubs = np.sort(hubs[order])
+        rank = np.full(graph.num_vertices, -1, dtype=np.int64)
+        rank[hubs] = np.arange(hubs.size)
+        bits = np.zeros((hubs.size, words), dtype=np.uint64)
+        for i, vertex in enumerate(hubs.tolist()):
+            neighbors = graph.neighbors(vertex)
+            np.bitwise_or.at(
+                bits[i],
+                neighbors >> 6,
+                np.uint64(1) << (neighbors & 63).astype(np.uint64),
+            )
+        return cls(rank=rank, bits=bits)
+
+    def probe_ranked(self, rank: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Membership test for sources already resolved to bitmap ranks."""
+        word = self.bits[rank, dst >> 6]
+        return (word >> (dst & 63).astype(np.uint64)) & np.uint64(1) != 0
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {"hub_rank": self.rank, "hub_bits": self.bits}
+
+    @classmethod
+    def from_state(cls, arrays: dict[str, np.ndarray]) -> "HubAdjacency | None":
+        rank = arrays.get("hub_rank")
+        bits = arrays.get("hub_bits")
+        if rank is None or bits is None:
+            return None
+        return cls(rank=rank, bits=bits)
+
+
+def hybrid_edges_exist(
+    edge_keys: np.ndarray,
+    hub_adjacency: HubAdjacency | None,
+    num_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+) -> np.ndarray:
+    """:func:`edges_exist` with bitmap-covered sources fast-pathed."""
+    if hub_adjacency is None:
+        return edges_exist(edge_keys, num_vertices, src, dst)
+    rank = hub_adjacency.rank[src]
+    covered = rank >= 0
+    if not covered.any():
+        return edges_exist(edge_keys, num_vertices, src, dst)
+    out = np.empty(src.shape, dtype=bool)
+    out[covered] = hub_adjacency.probe_ranked(rank[covered], dst[covered])
+    uncovered = ~covered
+    if uncovered.any():
+        out[uncovered] = edges_exist(
+            edge_keys, num_vertices, src[uncovered], dst[uncovered]
+        )
+    return out
+
+
 @dataclass
 class BatchSample:
     """One frontier-wide sampling decision.
@@ -268,6 +359,26 @@ class BatchSample:
     choice: np.ndarray
     proposals: int
     neighbor_reads: int
+
+
+def flatten_frontier(
+    graph: CSRGraph, current: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Segment arrays for a frontier's concatenated neighbor lists.
+
+    Returns ``(counts, segment, within, position)``: walker ``k`` owns
+    ``counts[k]`` consecutive flat entries, ``segment[j]`` is the walker
+    of flat entry ``j``, ``within[j]`` its within-neighborhood index and
+    ``position[j]`` its offset into the CSR column list.  The shared
+    gather behind every whole-row scanning kernel.
+    """
+    counts = graph.degrees()[current].astype(np.int64)
+    total = int(counts.sum())
+    segment = np.repeat(np.arange(current.size), counts)
+    starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    position = graph.row_ptr[current][segment] + within
+    return counts, segment, within, position
 
 
 class VectorizedKernel(ABC):
@@ -353,6 +464,54 @@ class AliasKernel(VectorizedKernel):
         return BatchSample(choice, proposals=current.size, neighbor_reads=2 * current.size)
 
 
+class ITSKernel(VectorizedKernel):
+    """Weighted inverse-transform sampling over prepared flat CDF rows.
+
+    The vectorized twin of the *prepared*
+    :class:`~repro.sampling.its.InverseTransformSampler` path: one
+    uniform per walker is scaled by the row's total weight and located in
+    the row's CDF slice.  Instead of a per-walker ``searchsorted``, the
+    frontier's CDF slices are flattened and the within-row index is the
+    per-segment count of entries at or below the target — the same
+    "first running total exceeding the target" rule, so the realized
+    distribution and the sequential-scan read accounting
+    (``index + 1`` reads per draw) match the scalar sampler exactly.
+    """
+
+    def __init__(self) -> None:
+        self._cdf: np.ndarray | None = None
+        self._row_totals: np.ndarray | None = None
+
+    def prepare(self, graph: CSRGraph) -> None:
+        self._cdf = build_its_cdf(graph)
+        self._row_totals = build_its_row_totals(graph)
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        if self._cdf is None or self._row_totals is None:
+            raise SamplingError("ITSKernel.prepare(graph) must run before exporting state")
+        return {"its_cdf": self._cdf, "its_row_totals": self._row_totals}
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        self._cdf = arrays["its_cdf"]
+        self._row_totals = arrays["its_row_totals"]
+
+    def sample(self, graph, current, previous, admissible_type, streams, stream_idx):
+        if self._cdf is None or self._row_totals is None:
+            raise SamplingError("ITSKernel.prepare(graph) must be called before sampling")
+        degrees = graph.degrees()[current]
+        target = streams.uniforms(stream_idx) * self._row_totals[current]
+        _, segment, _, position = flatten_frontier(graph, current)
+        below = self._cdf[position] <= target[segment]
+        choice = np.bincount(segment[below], minlength=current.size)
+        # Round-off can leave target == total weight; take the last entry,
+        # exactly like the scalar sampler's fell-off-the-scan clamp.
+        choice = np.minimum(choice.astype(np.int64), degrees - 1)
+        # Sequential-scan accounting: a scan stopping at ``index`` has read
+        # ``index + 1`` weights.
+        reads = int(choice.sum()) + current.size
+        return BatchSample(choice, proposals=current.size, neighbor_reads=reads)
+
+
 class RejectionKernel(VectorizedKernel):
     """Node2Vec rejection sampling with masked retry rounds.
 
@@ -374,6 +533,11 @@ class RejectionKernel(VectorizedKernel):
             sampler = RejectionSampler(p=p, q=q)
         self._sampler = sampler
         self._edge_keys: np.ndarray | None = None
+        #: Optional bitmap accelerator for hub-row adjacency probes; the
+        #: hybrid layer attaches one when its cost model pays for the
+        #: build.  Purely a speed structure — decisions are identical
+        #: with or without it.
+        self._hub_adjacency: HubAdjacency | None = None
 
     @property
     def p(self) -> float:
@@ -386,13 +550,20 @@ class RejectionKernel(VectorizedKernel):
     def prepare(self, graph: CSRGraph) -> None:
         self._edge_keys = build_edge_keys(graph)
 
+    def attach_hub_adjacency(self, hub_adjacency: HubAdjacency | None) -> None:
+        self._hub_adjacency = hub_adjacency
+
     def state_arrays(self) -> dict[str, np.ndarray]:
         if self._edge_keys is None:
             raise SamplingError("RejectionKernel.prepare(graph) must run before exporting state")
-        return {"edge_keys": self._edge_keys}
+        arrays = {"edge_keys": self._edge_keys}
+        if self._hub_adjacency is not None:
+            arrays.update(self._hub_adjacency.state_arrays())
+        return arrays
 
     def load_state(self, arrays: dict[str, np.ndarray]) -> None:
         self._edge_keys = arrays["edge_keys"]
+        self._hub_adjacency = HubAdjacency.from_state(arrays)
 
     def sample(self, graph, current, previous, admissible_type, streams, stream_idx):
         if self._edge_keys is None:
@@ -411,6 +582,16 @@ class RejectionKernel(VectorizedKernel):
 
         pending = np.nonzero(~first_hop)[0]
         prev_degrees = graph.degrees()[np.maximum(previous, 0)]
+        max_bias = self._sampler.max_bias
+        explore_bias = self._sampler.explore_bias
+        # The accept decision only consults adjacency when the drawn
+        # uniform falls *between* the adjacent-class and explore-class
+        # thresholds; outside that band both classes decide identically,
+        # so the (dominant, searchsorted-backed) probe can be skipped.
+        # Decisions — and stream consumption — are bit-identical to the
+        # probe-everything formulation; only the lookup work shrinks.
+        probe_lo = min(1.0, explore_bias) / max_bias
+        probe_hi = max(1.0, explore_bias) / max_bias
         rounds = 0
         while pending.size:
             rounds += 1
@@ -423,19 +604,30 @@ class RejectionKernel(VectorizedKernel):
             candidate = graph.col[graph.row_ptr[current[pending]] + proposal]
             prev = previous[pending]
             is_return = candidate == prev
-            adjacent = edges_exist(self._edge_keys, graph.num_vertices, prev, candidate)
+            u = streams.uniforms(stream_idx[pending])
+            undecided = ~is_return & (u >= probe_lo) & (u < probe_hi)
+            # Treating every decided non-return candidate as explore-class
+            # yields the same accept verdict: below the band both classes
+            # accept, above it both reject.
+            adjacent = np.zeros(pending.size, dtype=bool)
+            if undecided.any():
+                adjacent[undecided] = hybrid_edges_exist(
+                    self._edge_keys, self._hub_adjacency, graph.num_vertices,
+                    prev[undecided], candidate[undecided],
+                )
             bias = np.where(
                 is_return,
                 self._sampler.return_bias,
-                np.where(adjacent, 1.0, self._sampler.explore_bias),
+                np.where(adjacent, 1.0, explore_bias),
             )
             proposals += pending.size
             # One read for the proposal itself, plus the honest O(deg(prev))
             # adjacency-probe cost whenever the candidate is not the return
             # edge — identical to the scalar sampler's accounting, even
-            # though the lookup here is a binary search over edge keys.
+            # though the lookup here is a (lazily skipped) binary search
+            # over edge keys.
             reads += pending.size + int(prev_degrees[pending[~is_return]].sum())
-            accept = streams.uniforms(stream_idx[pending]) < bias / self._sampler.max_bias
+            accept = u < bias / max_bias
             accepted = pending[accept]
             choice[accepted] = proposal[accept]
             pending = pending[~accept]
@@ -490,13 +682,8 @@ class ReservoirKernel(VectorizedKernel):
             self._edge_keys = arrays["edge_keys"]
 
     def sample(self, graph, current, previous, admissible_type, streams, stream_idx):
-        degrees = graph.degrees()[current]
-        counts = degrees.astype(np.int64)
+        counts, segment, within, position = flatten_frontier(graph, current)
         total = int(counts.sum())
-        segment = np.repeat(np.arange(current.size), counts)
-        starts = np.cumsum(counts) - counts
-        within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-        position = graph.row_ptr[current][segment] + within
 
         if graph.is_weighted:
             weight = graph.weights[position].astype(np.float64)
@@ -549,6 +736,8 @@ def make_kernel(sampler: Sampler) -> VectorizedKernel:
         return UniformKernel()
     if isinstance(sampler, AliasSampler):
         return AliasKernel()
+    if isinstance(sampler, InverseTransformSampler):
+        return ITSKernel()
     if isinstance(sampler, RejectionSampler):
         return RejectionKernel(sampler)
     if isinstance(sampler, ReservoirSampler):

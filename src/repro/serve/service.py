@@ -151,6 +151,13 @@ class WalkService:
                 )
             self._runner = engine
         else:
+            # Serving defaults to the runtime-adaptive hybrid sampler: the
+            # cost model picks each row's strategy once at prepare time, so
+            # the hot path never meets a pathological row.  Replay
+            # (:func:`replay_paths`) defaults to the same mode, keeping the
+            # offline oracle bit-identical; pass ``sampler="default"`` to
+            # pin the spec's single-strategy kernel instead.
+            engine_options.setdefault("sampler", "auto")
             self._runner = prepare_engine(engine, graph, spec, **engine_options)
         #: Vertex count of the graph version the *newest queued* swap
         #: targets — requests admitted now execute after every queued
@@ -499,6 +506,7 @@ def replay_paths(
     spec: WalkSpec,
     requests: dict[int, int],
     seed: int,
+    sampler: str = "auto",
 ) -> dict[int, np.ndarray]:
     """Offline oracle for served requests: ``{query_id: path}``.
 
@@ -506,12 +514,14 @@ def replay_paths(
     the service seed, in one closed batch.  A correct service returns
     exactly these paths regardless of how its micro-batching happened to
     slice the request stream — the determinism contract the serve tests
-    and the CI smoke assert.
+    and the CI smoke assert.  ``sampler`` defaults to ``"auto"``, the
+    service's own default; replaying a service pinned to
+    ``sampler="default"`` must pass the same.
     """
     from repro.walks.batch import run_walks_batch
 
     queries = [Query(query_id, start) for query_id, start in sorted(requests.items())]
-    results = run_walks_batch(graph, spec, queries, seed=seed)
+    results = run_walks_batch(graph, spec, queries, seed=seed, sampler=sampler)
     return {
         query.query_id: results.path_of(position)
         for position, query in enumerate(queries)

@@ -30,7 +30,8 @@ import numpy as np
 
 from repro.errors import GraphError, WalkConfigError
 from repro.graph.csr import CSRGraph
-from repro.sampling.vectorized import QueryStreams, VectorizedKernel, make_kernel
+from repro.sampling.hybrid import make_walk_kernel, validate_sampler_mode
+from repro.sampling.vectorized import QueryStreams, VectorizedKernel
 from repro.walks.base import Query, WalkResults, WalkSpec
 from repro.walks.reference import EngineStats
 
@@ -175,6 +176,7 @@ def run_walks_batch(
     seed: int = 0,
     stats: EngineStats | None = None,
     kernel: VectorizedKernel | None = None,
+    sampler: str = "default",
 ) -> WalkResults:
     """Execute ``queries`` under ``spec`` with frontier supersteps.
 
@@ -186,15 +188,19 @@ def run_walks_batch(
     ``kernel``, when given, must already be prepared for ``graph``;
     repeated callers (the serving layer's prepared batch engine) pass it
     to amortize alias-table/edge-key construction across batches.
+    ``sampler`` selects the kernel family when no kernel is given:
+    ``"default"`` runs the spec's own single-strategy kernel, ``"auto"``
+    the cost-model-driven hybrid (:mod:`repro.sampling.hybrid`).
     """
     check_batch_spec(spec)
+    validate_sampler_mode(sampler)
     results = WalkResults()
     num_queries = len(queries)
     if num_queries == 0:
         return results
 
     if kernel is None:
-        kernel = make_kernel(spec.make_sampler())
+        kernel = make_walk_kernel(spec.make_sampler(), sampler)
         kernel.prepare(graph)
     query_ids = np.fromiter(
         (query.query_id for query in queries), dtype=np.int64, count=num_queries

@@ -10,7 +10,7 @@ alias, rejection, reservoir).
 
 import numpy as np
 import pytest
-from stat_helpers import chi_square_compare
+from stat_helpers import CHI_SQUARE_ALPHA, chi_square_compare
 
 from repro.errors import WalkConfigError
 from repro.graph import load_dataset, path_graph
@@ -99,7 +99,7 @@ class TestStatisticalEquivalence:
             reference.visit_counts(graph.num_vertices),
             parallel.visit_counts(graph.num_vertices),
         )
-        assert p > 0.001, f"visit distributions diverge for {kernel} (p={p:.5f})"
+        assert p > CHI_SQUARE_ALPHA, f"visit distributions diverge for {kernel} (p={p:.5f})"
 
 
 class TestEngineLifecycle:

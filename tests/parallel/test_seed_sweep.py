@@ -19,6 +19,9 @@ from repro.parallel import ParallelWalkEngine
 from repro.parallel.planner import QueryCostModel, plan_shards
 from repro.walks import DeepWalkSpec, Query, URWSpec, run_walks_batch
 
+#: >= 20-seed property sweeps over live worker pools: full CI lane only.
+pytestmark = pytest.mark.slow
+
 SWEEP_SEEDS = list(range(20))
 
 

@@ -1,0 +1,300 @@
+"""Property-based conformance sweep for the hybrid sampling backend.
+
+The hybrid contract under test, per the determinism guarantees in
+:mod:`repro.sampling.hybrid`:
+
+1. **Fixed selection maps are bit-identical to the single-strategy
+   kernel.**  Forcing every row onto one strategy must reproduce that
+   strategy's standalone kernel exactly — paths *and* ``EngineStats``.
+2. **Grouped dispatch equals per-row dispatch.**  A mixed-strategy
+   frontier grouped per strategy must match running every query alone
+   (each walker's draws depend only on its own substream).
+3. **Selection maps are stable under snapshot round-trips.**  A dynamic
+   graph's incrementally maintained strategy map must equal from-scratch
+   selection on the same logical graph, through dirty rows, degree
+   collapses, re-adds and forced compactions.
+4. **Auto mode is bit-identical across batch / parallel / serve-replay**
+   and survives a dynamic sliding-window run.
+
+Each seed builds an *adversarial* weighted graph stacking the rows the
+cost model branches on: a skewed hub (alias), dominant-first-edge rows
+(ITS at high degree), dominant-last-edge rows (alias), all-equal-weight
+rows (uniform), degree-1 rows, a dangling vertex, and a spray of small
+weighted rows (ITS).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph, SamplerState
+from repro.engines import prepare_engine
+from repro.graph import from_edges
+from repro.sampling import (
+    AliasSampler,
+    BiasedScanKernel,
+    HybridKernel,
+    RejectionSampler,
+    select_strategies,
+)
+from repro.sampling.hybrid import (
+    STRATEGY_ALIAS,
+    STRATEGY_ITS,
+    STRATEGY_ONE,
+    STRATEGY_REJECTION,
+    STRATEGY_UNIFORM,
+)
+from repro.sampling.vectorized import AliasKernel, ITSKernel, RejectionKernel, UniformKernel
+from repro.walks import DeepWalkSpec, EngineStats, Node2VecSpec, make_queries, run_walks_batch
+
+#: The sweep's seed universe (satellite requirement: >= 24).
+SEEDS = tuple(range(24))
+
+NUM_QUERIES = 30
+WALK_LENGTH = 8
+
+
+def adversarial_graph(seed, weighted=True):
+    """A graph stacking every row archetype the cost model branches on."""
+    rng = np.random.default_rng((seed, 0xAD))
+    n = 24
+    edges, weights = [], []
+
+    def add_row(src, dsts, row_weights):
+        for dst, w in zip(dsts, row_weights):
+            edges.append((src, int(dst)))
+            weights.append(float(w))
+
+    others = np.arange(1, n)
+    # Vertex 0: skewed hub — tail-heavy weights force the alias strategy.
+    dsts = rng.choice(others, size=20, replace=False)
+    add_row(0, dsts, np.arange(1, 21, dtype=float))
+    # Vertex 1: one dominant *first* edge — expected scan depth ~1 => ITS
+    # even at a degree the small-row rule would not cover.
+    dsts = rng.choice(others[others != 1], size=12, replace=False)
+    add_row(1, dsts, [1000.0] + [0.01] * 11)
+    # Vertex 2: one dominant *last* edge — expected scan depth ~degree => alias.
+    dsts = rng.choice(others[others != 2], size=12, replace=False)
+    add_row(2, dsts, [0.01] * 11 + [1000.0])
+    # Vertex 3: all-equal weights — the weighted draw degenerates to uniform.
+    dsts = rng.choice(others[others != 3], size=6, replace=False)
+    add_row(3, dsts, [2.5] * 6)
+    # Vertex 4: degree 1.
+    add_row(4, [int(rng.integers(5, n))], [3.0])
+    # Vertex 5: dangling (degree 0) — walks terminate, sampler never called.
+    # Vertices 6..: small weighted rows (ITS) pointing anywhere.
+    for v in range(6, n):
+        degree = int(rng.integers(2, 7))
+        candidates = others[others != v]
+        dsts = rng.choice(candidates, size=degree, replace=False)
+        add_row(v, dsts, rng.uniform(0.5, 4.0, size=degree))
+
+    return from_edges(edges, num_vertices=n,
+                      weights=weights if weighted else None,
+                      name=f"adversarial-{seed}")
+
+
+def run_pair(graph, spec, queries, seed, kernel_a, kernel_b):
+    """Run both kernels and assert bit-identical paths and EngineStats."""
+    stats_a, stats_b = EngineStats(), EngineStats()
+    a = run_walks_batch(graph, spec, queries, seed=seed, stats=stats_a, kernel=kernel_a)
+    b = run_walks_batch(graph, spec, queries, seed=seed, stats=stats_b, kernel=kernel_b)
+    assert a.num_queries == b.num_queries
+    for pa, pb in zip(a.paths, b.paths):
+        assert np.array_equal(pa, pb)
+    assert stats_a.__dict__ == stats_b.__dict__
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestFixedMapConformance:
+    """Forced single-strategy maps vs the standalone kernels (contract 1)."""
+
+    def _queries(self, graph, seed):
+        return make_queries(graph, NUM_QUERIES, seed=seed + 1,
+                            require_outgoing=False)
+
+    def test_first_order_fixed_maps(self, seed):
+        graph = adversarial_graph(seed)
+        spec = DeepWalkSpec(max_length=WALK_LENGTH)
+        queries = self._queries(graph, seed)
+        singles = {
+            STRATEGY_UNIFORM: UniformKernel(),
+            STRATEGY_ALIAS: AliasKernel(),
+            STRATEGY_ITS: ITSKernel(),
+        }
+        for code, single in singles.items():
+            forced = np.full(graph.num_vertices, code, dtype=np.int8)
+            hybrid = HybridKernel(AliasSampler(), selection=forced)
+            hybrid.prepare(graph)
+            single.prepare(graph)
+            run_pair(graph, spec, queries, seed + 2, hybrid, single)
+
+    def test_second_order_fixed_maps(self, seed):
+        graph = adversarial_graph(seed, weighted=False)
+        spec = Node2VecSpec(p=2.0, q=0.5, max_length=WALK_LENGTH)
+        queries = self._queries(graph, seed)
+        singles = {
+            STRATEGY_REJECTION: RejectionKernel(p=2.0, q=0.5),
+            STRATEGY_ITS: BiasedScanKernel(p=2.0, q=0.5),
+        }
+        for code, single in singles.items():
+            forced = np.full(graph.num_vertices, code, dtype=np.int8)
+            hybrid = HybridKernel(RejectionSampler(p=2.0, q=0.5), selection=forced)
+            hybrid.prepare(graph)
+            single.prepare(graph)
+            run_pair(graph, spec, queries, seed + 2, hybrid, single)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestGroupedDispatchEqualsPerRow:
+    """Mixed maps: batch grouping vs one-query-at-a-time (contract 2)."""
+
+    def _check(self, graph, spec, seed):
+        kernel = HybridKernel(spec.make_sampler())
+        kernel.prepare(graph)
+        queries = make_queries(graph, NUM_QUERIES, seed=seed + 1,
+                               require_outgoing=False)
+        batch = run_walks_batch(graph, spec, queries, seed=seed + 2, kernel=kernel)
+        # The auto map on an adversarial graph is genuinely mixed —
+        # otherwise this test collapses into the fixed-map one.
+        assert len(kernel.strategy_counts()) >= 3
+        for position, query in enumerate(queries):
+            alone = run_walks_batch(graph, spec, [query], seed=seed + 2,
+                                    kernel=kernel)
+            assert np.array_equal(alone.path_of(0), batch.paths[position])
+
+    def test_first_order_auto(self, seed):
+        self._check(adversarial_graph(seed), DeepWalkSpec(max_length=WALK_LENGTH), seed)
+
+    def test_second_order_auto(self, seed):
+        # Retry-hostile p/q: rejection expects ~q rounds per hop on a
+        # sparse graph, so the cost model routes small rows to the exact
+        # scan and the selection map is genuinely three-way.
+        self._check(adversarial_graph(seed, weighted=False),
+                    Node2VecSpec(p=8.0, q=8.0, max_length=WALK_LENGTH), seed)
+
+    def test_second_order_auto_collapses_at_accepting_pq(self, seed):
+        """At the paper's p=2, q=0.5 rejection accepts almost every
+        proposal; the cost model must *not* pay the scan there."""
+        graph = adversarial_graph(seed, weighted=False)
+        spec = Node2VecSpec(p=2.0, q=0.5, max_length=WALK_LENGTH)
+        kernel = HybridKernel(spec.make_sampler())
+        kernel.prepare(graph)
+        assert "its" not in kernel.strategy_counts()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_selection_map_stable_under_snapshot_round_trip(seed):
+    """Contract 3: incremental strategy maintenance == from-scratch
+    selection through adversarial updates and a forced compaction."""
+    rng = np.random.default_rng((seed, 0x5E))
+    base = adversarial_graph(seed)
+    dynamic = DynamicGraph(base, min_compaction_edges=1 << 30)
+    snapshot = dynamic.snapshot()
+    assert np.array_equal(snapshot.sampler_state.strategy, select_strategies(base))
+
+    # Dirty the archetypes: collapse the dominant-first row to uniform
+    # weights, strip a small row to degree 0, re-add one edge, give the
+    # dangling vertex a row, and churn a random row's weights.
+    dominant = dynamic.neighbors(1)
+    dynamic.update_weights([(1, int(d)) for d in dominant],
+                           [1.0] * dominant.size)
+    victim = 6
+    dynamic.remove_edges([(victim, int(d)) for d in dynamic.neighbors(victim)])
+    dynamic.add_edges([(victim, 0)], [2.0])
+    dynamic.add_edges([(5, 1), (5, 2), (5, 3)], [9.0, 0.01, 0.01])
+    churn = int(rng.integers(7, base.num_vertices))
+    for dst in dynamic.neighbors(churn):
+        dynamic.update_weights([(churn, int(dst))],
+                               [float(rng.uniform(0.1, 10.0))])
+
+    snapshot = dynamic.snapshot()
+    edges, weights = dynamic.logical_edges()
+    rebuilt = from_edges(edges, num_vertices=base.num_vertices, weights=weights)
+    assert np.array_equal(snapshot.sampler_state.strategy,
+                          select_strategies(rebuilt))
+    assert np.array_equal(snapshot.sampler_state.strategy,
+                          SamplerState.full_build(rebuilt).strategy)
+
+    # A compaction is representational only: same epoch, same strategy map.
+    dynamic.compact()
+    recompacted = dynamic.snapshot()
+    assert recompacted.epoch == snapshot.epoch
+    assert np.array_equal(recompacted.sampler_state.strategy,
+                          snapshot.sampler_state.strategy)
+
+    # And the row archetypes actually moved where the cost model says:
+    strategy = np.asarray(snapshot.sampler_state.strategy)
+    assert strategy[1, 0] == STRATEGY_UNIFORM     # equalized weights
+    assert strategy[victim, 0] == STRATEGY_ONE    # degree 1 now
+    assert strategy[5, 0] == STRATEGY_ITS          # dominant-first row
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_auto_bit_identical_across_batch_parallel_serve_replay(seed):
+    """Contract 4: the acceptance criterion's engine triangle."""
+    from repro.serve import ServeConfig, WalkService, replay_paths
+
+    graph = adversarial_graph(seed)
+    spec = DeepWalkSpec(max_length=WALK_LENGTH)
+    queries = make_queries(graph, NUM_QUERIES, seed=seed + 1)
+    run_seed = seed + 2
+
+    batch = run_walks_batch(graph, spec, queries, seed=run_seed, sampler="auto")
+    with prepare_engine("parallel", graph, spec, workers=2,
+                        sampler="auto") as parallel:
+        par = parallel.run(queries, seed=run_seed)
+    for a, b in zip(batch.paths, par.paths):
+        assert np.array_equal(a, b)
+
+    requests = {q.query_id: q.start_vertex for q in queries}
+    oracle = replay_paths(graph, spec, requests, seed=run_seed)
+    for position, query in enumerate(queries):
+        assert np.array_equal(oracle[query.query_id], batch.paths[position])
+
+    async def _serve():
+        config = ServeConfig(max_batch=7, max_wait_ms=20.0,
+                             queue_depth=4 * NUM_QUERIES)
+        served = {}
+        async with WalkService(graph, spec, engine="batch", seed=run_seed,
+                               config=config) as service:
+            futures = {
+                q.query_id: service.try_submit(q.start_vertex, query_id=q.query_id)
+                for q in queries
+            }
+            for query_id, future in futures.items():
+                served[query_id] = (await future).path_of(0)
+        return served
+
+    served = asyncio.run(_serve())
+    for query_id, path in served.items():
+        assert np.array_equal(path, oracle[query_id])
+
+
+@pytest.mark.slow
+def test_auto_survives_dynamic_sliding_window():
+    """Contract 4, dynamic half: an auto-prepared engine swapped across a
+    sliding-window trace stays bit-identical to a fresh auto engine on a
+    from-scratch build of every epoch's logical graph."""
+    from repro.dynamic import make_trace, apply_batch
+    from repro.dynamic.bench import fresh_static_build
+
+    trace = make_trace("window", 8, edge_factor=6, batch_size=150,
+                      num_batches=5, seed=3, weighted=True)
+    dynamic = trace.build_dynamic(compaction_threshold=0.25)
+    spec = DeepWalkSpec(max_length=10)
+    snapshot = dynamic.snapshot()
+    engine = prepare_engine("batch", snapshot.graph, spec, sampler="auto")
+    queries = make_queries(snapshot.graph, 64, seed=11)
+    for batch in trace.batches:
+        apply_batch(dynamic, batch)
+        snapshot = dynamic.snapshot()
+        engine.swap_snapshot(snapshot)
+        swapped = engine.run(queries, seed=17)
+        static_graph, _ = fresh_static_build(dynamic)
+        fresh = run_walks_batch(static_graph, spec, queries, seed=17,
+                                sampler="auto")
+        for a, b in zip(swapped.paths, fresh.paths):
+            assert np.array_equal(a, b)

@@ -16,6 +16,7 @@ from repro.sampling import (
 from repro.sampling.its import InverseTransformSampler
 from repro.sampling.vectorized import (
     AliasKernel,
+    ITSKernel,
     RejectionKernel,
     ReservoirKernel,
     UniformKernel,
@@ -195,6 +196,7 @@ class TestKernelFactory:
     def test_maps_all_table_one_samplers(self):
         assert isinstance(make_kernel(UniformSampler()), UniformKernel)
         assert isinstance(make_kernel(AliasSampler()), AliasKernel)
+        assert isinstance(make_kernel(InverseTransformSampler()), ITSKernel)
         assert isinstance(make_kernel(RejectionSampler(p=2, q=0.5)), RejectionKernel)
         reservoir = make_kernel(ReservoirSampler(p=2.0, q=0.5))
         assert isinstance(reservoir, ReservoirKernel)
@@ -203,11 +205,20 @@ class TestKernelFactory:
     def test_unknown_sampler_rejected(self):
         """An unmapped sampler must fail loudly *and* tell the user where
         to go: the reference engine runs any scalar sampler."""
+        from repro.sampling.base import SampleOutcome, Sampler
+
+        class NovelSampler(Sampler):
+            name = "novel"
+            rp_entry_bits = 64
+
+            def sample(self, graph, context, random_source):
+                return SampleOutcome(index=0, proposals=1, neighbor_reads=1)
+
         with pytest.raises(SamplingError, match="reference engine") as excinfo:
-            make_kernel(InverseTransformSampler())
+            make_kernel(NovelSampler())
         # The message names the offending sampler so the error is
         # actionable from a CLI stack trace.
-        assert "inverse-transform" in str(excinfo.value)
+        assert "novel" in str(excinfo.value)
 
     def test_unknown_sampler_subclass_rejected(self):
         """The factory keys on known types, not hasattr duck-typing: a

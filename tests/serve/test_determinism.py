@@ -139,10 +139,12 @@ def test_engine_stats_match_offline_batch(workload):
 
     graph, spec, starts, _ = workload
     offline = EngineStats()
+    # The service defaults to sampler="auto"; the closed-run oracle must
+    # run the same backend for its counters to be comparable.
     run_walks_batch(
         graph, spec,
         [Query(i, int(v)) for i, v in enumerate(starts)],
-        seed=SERVICE_SEED, stats=offline,
+        seed=SERVICE_SEED, stats=offline, sampler="auto",
     )
     _, service = _serve(graph, spec, starts, "batch", {}, max_batch=16)
     served = service.engine_stats

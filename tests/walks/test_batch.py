@@ -9,7 +9,7 @@ hardware simulator is held to).
 
 import numpy as np
 import pytest
-from stat_helpers import chi_square_compare
+from stat_helpers import CHI_SQUARE_ALPHA, chi_square_compare
 
 from repro.errors import SamplingError
 from repro.graph import cycle_graph, from_edges, load_dataset, path_graph
@@ -165,6 +165,26 @@ class TestBasicSemantics:
             run_walks_batch(g, LegacyPPR(max_length=5), [Query(0, 0)], seed=1)
 
     def test_unknown_sampler_rejected(self):
+        from repro.sampling.base import SampleOutcome, Sampler
+        from repro.walks.base import WalkSpec
+
+        class BespokeSampler(Sampler):
+            name = "bespoke"
+
+            def sample(self, graph, context, random_source):
+                return SampleOutcome(index=0, proposals=1, neighbor_reads=1)
+
+        class BespokeSpec(WalkSpec):
+            def make_sampler(self):
+                return BespokeSampler()
+
+        g = cycle_graph(3).with_weights(np.ones(3))
+        with pytest.raises(SamplingError, match="vectorized"):
+            run_walks_batch(g, BespokeSpec(max_length=3), [Query(0, 0)], seed=1)
+
+    def test_its_spec_runs_on_batch_engine(self):
+        """InverseTransformSampler now has a vectorized kernel: an ITS
+        spec runs end to end instead of bouncing to the reference engine."""
         from repro.sampling.its import InverseTransformSampler
         from repro.walks.base import WalkSpec
 
@@ -173,8 +193,8 @@ class TestBasicSemantics:
                 return InverseTransformSampler()
 
         g = cycle_graph(3).with_weights(np.ones(3))
-        with pytest.raises(SamplingError, match="vectorized"):
-            run_walks_batch(g, ITSSpec(max_length=3), [Query(0, 0)], seed=1)
+        results = run_walks_batch(g, ITSSpec(max_length=3), [Query(0, 0)], seed=1)
+        assert results.path_of(0).tolist() == [0, 1, 2, 0]
 
 
 class TestStatisticalEquivalence:
@@ -188,7 +208,7 @@ class TestStatisticalEquivalence:
             ref.visit_counts(graph.num_vertices),
             bat.visit_counts(graph.num_vertices),
         )
-        assert p > 0.001, f"visit distributions diverge (p={p:.5f})"
+        assert p > CHI_SQUARE_ALPHA, f"visit distributions diverge (p={p:.5f})"
 
     def test_deepwalk_weighted(self):
         self._compare(
