@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 test suite plus engine smoke benchmarks — the batch
+# CI gate: the determinism & resource-safety lint (`repro lint`, zero
+# unsuppressed findings over src/repro — see the README's "Determinism
+# contract"), then the tier-1 test suite plus engine smoke benchmarks
+# — the batch
 # engine must beat the reference loop on a 10k-query RMAT workload, the
 # sharded parallel engine (2 workers, small graph) must produce
 # bit-identical results to the batch engine, the async walk service
@@ -22,6 +25,18 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== determinism & resource-safety lint (repro lint) =="
+python -m repro lint src/repro
+
+if command -v ruff >/dev/null 2>&1; then
+  echo
+  echo "== ruff (error-tier rules) =="
+  ruff check .
+else
+  echo "(ruff not installed; skipping — CI runs it)"
+fi
+
+echo
 echo "== tier-1 tests =="
 if python -c "import pytest_cov" >/dev/null 2>&1; then
   python -m pytest -x -q \

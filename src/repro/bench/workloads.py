@@ -21,6 +21,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.datasets import assign_metapath_schema
 from repro.graph.generators import BALANCED_INITIATOR, GRAPH500_INITIATOR
 from repro.memory.spec import MemorySpec
+from repro.sampling.base import derive_seed
 from repro.sim.stats import RunMetrics
 from repro.walks import (
     DeepWalkSpec,
@@ -168,7 +169,8 @@ def run_ridgewalker_streaming(
     config = RidgeWalkerConfig(
         num_pipelines=num_pipelines, memory=memory, **config_overrides
     )
-    queries = make_queries(workload.graph, num_queries(), seed=seed + 17)
+    queries = make_queries(workload.graph, num_queries(),
+                           seed=derive_seed(seed, "queries"))
     engine = RidgeWalker(workload.graph, workload.spec, config, seed=seed)
     return engine.run_streaming(
         queries, warmup_cycles=warmup_cycles(), measure_cycles=measure_cycles()

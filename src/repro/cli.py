@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the workflows a downstream user reaches for first:
+Six commands cover the workflows a downstream user reaches for first:
 
 * ``walk`` — run a GRW workload on the simulated accelerator and print
   throughput/utilization (optionally from a graph file);
@@ -9,6 +9,9 @@ Five commands cover the workflows a downstream user reaches for first:
 * ``mutate-bench`` — stream an update trace into a dynamic graph and
   print incremental-maintenance throughput, compaction cost, and
   walk-throughput retention vs a static rebuild;
+* ``lint`` — statically check the determinism & resource-safety
+  invariants (seeded streams, shared-memory lifecycles, non-blocking
+  serve path, ordered outputs) over a source tree; the CI gate;
 * ``experiment`` — regenerate one of the paper's tables/figures by id
   (the same registry the benchmark suite uses);
 * ``info`` — list datasets, algorithms, devices and experiment ids.
@@ -28,7 +31,7 @@ from repro.errors import ReproError, WalkConfigError
 from repro.graph import dataset_names, load_dataset, load_edge_list, load_npz
 from repro.graph.datasets import assign_metapath_schema
 from repro.resources import DEVICE_CATALOG, get_device
-from repro.sampling.base import normalize_seed
+from repro.sampling.base import derive_seed, normalize_seed
 from repro.sim import UtilizationTracer, render_dashboard
 from repro.walks import EngineStats, make_queries
 
@@ -167,6 +170,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fold deltas into a fresh CSR base once they "
                         "exceed this fraction of base edges")
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically check determinism & resource-safety invariants",
+        description="AST-based static analysis enforcing the repository's "
+        "determinism contract (README.md): SeedSequence-rooted RNG streams "
+        "(RW101/RW102), shared-memory segment lifecycles (RW103), a "
+        "non-blocking asyncio serve path (RW104), and no set-ordered "
+        "outputs (RW105). Exits 1 if any unsuppressed finding remains; "
+        "suppress with `# repro: allow[RW###] <reason>`.",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                      "installed repro package source)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="output_format",
+                      help="report format (default text)")
+    lint.add_argument("--select", default=None, metavar="RW###,RW###",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="ignore findings fingerprinted in this baseline "
+                      "file (adopt-then-ratchet workflow)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current unsuppressed findings to "
+                      "--baseline instead of failing on them")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list suppressed/baselined findings with "
+                      "their recorded reasons")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS),
                             help="table/figure id (see DESIGN.md index)")
@@ -193,7 +226,7 @@ def _run_software_engine(args, graph, spec, queries) -> int:
     """Run the pure-software walk engines and report wall-clock throughput."""
     stats = EngineStats()
     results, elapsed = run_software_walks(
-        args.engine, graph, spec, queries, seed=args.seed + 2, stats=stats,
+        args.engine, graph, spec, queries, seed=derive_seed(args.seed, "engine"), stats=stats,
         workers=args.workers, sampler=args.sampler,
     )
     print(f"\n{args.engine} engine: {stats.total_hops} hops in {elapsed:.3f}s "
@@ -238,7 +271,7 @@ def cmd_walk(args) -> int:
     graph = _load_graph(args)
     spec = make_spec(args.algorithm)
     spec.max_length = args.length
-    queries = make_queries(graph, args.queries, seed=args.seed + 1)
+    queries = make_queries(graph, args.queries, seed=derive_seed(args.seed, "queries"))
 
     if args.engine != "sim":
         print(f"graph: {graph}")
@@ -248,7 +281,7 @@ def cmd_walk(args) -> int:
     device = get_device(args.device or "U55C")
     pipelines = args.pipelines or device.max_pipelines
     config = RidgeWalkerConfig(num_pipelines=pipelines, memory=device.memory)
-    engine = RidgeWalker(graph, spec, config, seed=args.seed + 2)
+    engine = RidgeWalker(graph, spec, config, seed=derive_seed(args.seed, "engine"))
 
     print(f"graph: {graph}")
     print(f"device: {device.name} ({device.memory.name}, {pipelines} pipelines)")
@@ -288,7 +321,7 @@ def cmd_serve_bench(args) -> int:
     graph = _load_graph(args)
     spec = make_spec(args.algorithm)
     spec.max_length = args.length
-    queries = make_queries(graph, args.requests, seed=args.seed + 1)
+    queries = make_queries(graph, args.requests, seed=derive_seed(args.seed, "queries"))
     starts = np.fromiter((q.start_vertex for q in queries), dtype=np.int64,
                          count=len(queries))
     # The CLI default never sheds: sizing a real deployment's depth is
@@ -310,10 +343,11 @@ def cmd_serve_bench(args) -> int:
     engine_options["sampler"] = args.sampler
     report, service = serve_open_loop(
         lambda: WalkService(graph, spec, engine=args.engine,
-                            seed=args.seed + 2, config=config, **engine_options),
+                            seed=derive_seed(args.seed, "engine"), config=config,
+                            **engine_options),
         starts,
         rate_per_second=args.rate,
-        arrival_seed=args.seed + 3,
+        arrival_seed=derive_seed(args.seed, "arrivals"),
     )
     print()
     print(service.stats.summary())
@@ -366,6 +400,43 @@ def cmd_mutate_bench(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static determinism & resource-safety analysis (the CI gate)."""
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        all_rules, lint_paths, load_baseline, render_json, render_text,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}")
+            print(f"       {rule.description}")
+        return 0
+    paths = args.paths or [Path(repro.__file__).resolve().parent]
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select else None
+    )
+    if args.write_baseline and not args.baseline:
+        raise WalkConfigError("--write-baseline requires --baseline FILE")
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        baseline = load_baseline(args.baseline)
+    report = lint_paths(paths, select=select, baseline=baseline)
+    if args.write_baseline:
+        count = write_baseline(args.baseline, report)
+        print(f"baseline: recorded {count} finding(s) in {args.baseline}")
+        return 0
+    if args.output_format == "json":
+        sys.stdout.write(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return report.exit_code
+
+
 def cmd_experiment(args) -> int:
     result = EXPERIMENTS[args.id]()
     print(result.to_table())
@@ -383,7 +454,7 @@ def cmd_info(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"walk": cmd_walk, "serve-bench": cmd_serve_bench,
-                "mutate-bench": cmd_mutate_bench,
+                "mutate-bench": cmd_mutate_bench, "lint": cmd_lint,
                 "experiment": cmd_experiment, "info": cmd_info}
     try:
         return handlers[args.command](args)

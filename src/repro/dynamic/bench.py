@@ -29,6 +29,7 @@ from repro.dynamic.workload import UpdateTrace, apply_batch
 from repro.engines import hops_per_second
 from repro.graph.builders import from_edges
 from repro.graph.csr import CSRGraph
+from repro.sampling.base import derive_seed
 from repro.sampling.vectorized import make_kernel
 from repro.walks.base import WalkSpec, make_queries
 from repro.walks.batch import run_walks_batch
@@ -207,8 +208,9 @@ def run_mutate_bench(
     static_graph, static_state = fresh_static_build(dynamic)
     equivalent = snapshot_matches_static(snapshot, static_graph, static_state)
 
-    queries = make_queries(static_graph, walk_queries, seed=seed + 1)
-    walk_seed = seed + 2
+    queries = make_queries(static_graph, walk_queries,
+                           seed=derive_seed(seed, "queries"))
+    walk_seed = derive_seed(seed, "engine")
     dynamic_kernel = make_kernel(spec.make_sampler())
     arrays = snapshot.kernel_arrays(dynamic_kernel)
     if arrays:

@@ -32,11 +32,26 @@ from repro.dynamic.graph import DynamicGraph
 from repro.errors import DynamicGraphError
 from repro.graph.builders import from_edges
 from repro.graph.generators import rmat
+from repro.sampling.base import normalize_seed
 
 #: Trace kinds accepted by :func:`make_trace` (and the CLI's --trace).
 TRACE_KINDS = ("grow", "window", "churn")
 
 _WEIGHT_LOW, _WEIGHT_HIGH = 0.5, 2.0
+
+#: ``SeedSequence((seed, tag))`` stream tags: arrival order/weights vs
+#: churn re-draws must be independent children of the trace seed (RW102
+#: — the historical ``seed + 1`` / ``seed + 2`` offsets could collide
+#: with each other across call sites).
+_STREAM_TAG_ARRIVALS = 1
+_STREAM_TAG_CHURN = 2
+
+
+def _stream_rng(seed: int, tag: int) -> np.random.Generator:
+    """A ``SeedSequence((seed, tag))``-rooted generator for one trace
+    sub-stream."""
+    sequence = np.random.SeedSequence((normalize_seed(seed), tag))
+    return np.random.default_rng(sequence)
 
 
 @dataclass(frozen=True)
@@ -103,7 +118,7 @@ def _edge_stream(
         np.arange(graph.num_vertices, dtype=np.int64), graph.degrees()
     )
     edges = np.stack([sources, graph.col], axis=1)
-    rng = np.random.default_rng(seed + 1)
+    rng = _stream_rng(seed, _STREAM_TAG_ARRIVALS)
     edges = edges[rng.permutation(edges.shape[0])]
     weights = (
         rng.uniform(_WEIGHT_LOW, _WEIGHT_HIGH, size=edges.shape[0])
@@ -216,7 +231,7 @@ def weight_churn_trace(
     """Fixed topology, churning weights: each batch re-draws the weights
     of a random edge subset (always a weighted trace)."""
     num_vertices, edges, weights = _edge_stream(scale, edge_factor, seed, True)
-    rng = np.random.default_rng(seed + 2)
+    rng = _stream_rng(seed, _STREAM_TAG_CHURN)
     batches: list[UpdateBatch] = []
     for _ in range(num_batches):
         size = min(batch_size, edges.shape[0])

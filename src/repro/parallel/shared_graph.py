@@ -83,13 +83,25 @@ class SharedArrayStore:
             records.append(_ArrayRecord(name, offset, array.shape, array.dtype.str))
             offset += array.nbytes
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for record, array in zip(records, arrays.values()):
-            array = np.ascontiguousarray(array)
-            view = np.ndarray(record.shape, dtype=record.dtype, buffer=shm.buf,
-                              offset=record.offset)
-            view[...] = array
-        handle = SharedStoreHandle(shm.name, tuple(records), graph_name)
-        return cls(shm, handle, owner=True)
+        try:
+            for record, array in zip(records, arrays.values()):
+                array = np.ascontiguousarray(array)
+                view = np.ndarray(record.shape, dtype=record.dtype,
+                                  buffer=shm.buf, offset=record.offset)
+                view[...] = array
+            handle = SharedStoreHandle(shm.name, tuple(records), graph_name)
+            return cls(shm, handle, owner=True)
+        except BaseException:
+            # Until the owning wrapper exists, nothing else can unlink
+            # the segment — a failure here (a dtype that won't cast, a
+            # caller mapping that lies about its values) would leak it
+            # in /dev/shm until reboot (RW103).
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            raise
 
     @classmethod
     def attach(cls, handle: SharedStoreHandle, untrack: bool = False) -> "SharedArrayStore":

@@ -19,7 +19,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.sampling.base import NumpyRandomSource, StepContext, normalize_seed
+from repro.sampling.base import (
+    NumpyRandomSource,
+    StepContext,
+    derive_seed,
+    normalize_seed,
+)
 from repro.walks.base import Query, WalkResults, WalkSpec
 
 
@@ -126,7 +131,10 @@ def expected_visit_distribution(
     """
     counts = np.zeros(graph.num_vertices, dtype=np.float64)
     for trial in range(num_trials):
-        results = run_walks(graph, spec, queries, seed=seed + trial * 7919)
+        # Per-trial child seeds via spawn keys (RW102): the historical
+        # ``seed + trial * 7919`` stride collided across (seed, trial)
+        # pairs, silently correlating oracle trials.
+        results = run_walks(graph, spec, queries, seed=derive_seed(seed, trial))
         counts += results.visit_counts(graph.num_vertices)
     total = counts.sum()
     return counts / total if total else counts

@@ -1,0 +1,8 @@
+"""RW100 clean fixture: one well-formed, used, reasoned waiver."""
+import numpy as np
+
+
+def legacy_shuffle(vertices):
+    # repro: allow[RW101] replaying a recorded third-party trace that used the global RNG
+    np.random.shuffle(vertices)
+    return vertices

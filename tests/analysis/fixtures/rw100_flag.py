@@ -1,0 +1,24 @@
+"""RW100 flagging fixture: every way a waiver can rot.
+
+A reason-less allow (suppresses nothing, reported), an allow naming an
+unknown rule, and a stale allow with no finding left to suppress.
+"""
+import numpy as np
+
+
+def scramble(vertices):
+    # repro: allow[RW101]
+    np.random.shuffle(vertices)
+    return vertices
+
+
+def stale(vertices, seed):
+    # repro: allow[RW101] historical waiver; the global-RNG call below was removed
+    rng = np.random.default_rng(seed)
+    rng.shuffle(vertices)
+    return vertices
+
+
+def unknown(count):
+    # repro: allow[RW999] no such rule
+    return list(range(count))

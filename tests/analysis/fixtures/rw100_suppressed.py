@@ -1,0 +1,12 @@
+"""RW100 suppressed fixture: a stale allow kept deliberately.
+
+The RW101 allow matches nothing (stale), which RW100 reports at the
+comment's line; the standalone RW100 allow directly above it waives
+that hygiene finding — with a reason, per policy.
+"""
+
+
+def placeholder(count):
+    # repro: allow[RW100] allow kept as the documented example for the README suppression table
+    # repro: allow[RW101] kept-for-documentation waiver; see README determinism contract
+    return list(range(count))

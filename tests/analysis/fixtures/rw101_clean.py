@@ -1,0 +1,12 @@
+"""RW101 clean fixture: every stream rooted in an explicit generator."""
+import numpy as np
+
+
+def scramble(vertices, seed):
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0)))
+    rng.shuffle(vertices)
+    return vertices
+
+
+def pick_start(candidates, rng: np.random.Generator):
+    return candidates[int(rng.integers(0, len(candidates)))]

@@ -1,0 +1,20 @@
+"""RW101 flagging fixture: draws from process-global RNG state."""
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def scramble(vertices):
+    np.random.shuffle(vertices)  # hidden global state
+    return vertices
+
+
+def pick_start(candidates):
+    order = list(candidates)
+    shuffle(order)  # stdlib global RNG via from-import
+    return random.choice(order)  # stdlib global RNG via module call
+
+
+def reseed():
+    np.random.seed(0)  # global reseed poisons every later caller

@@ -1,0 +1,8 @@
+"""RW101 suppressed fixture: a justified global-RNG waiver."""
+import numpy as np
+
+
+def legacy_compat_shuffle(vertices):
+    # repro: allow[RW101] oracle replays a third-party trace recorded against the global RNG
+    np.random.shuffle(vertices)
+    return vertices

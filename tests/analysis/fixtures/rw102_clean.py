@@ -1,0 +1,13 @@
+"""RW102 clean fixture: spawn-key derivation only."""
+import numpy as np
+
+
+def make_queries(count, seed=0):
+    return list(range(count))
+
+
+def run(seed):
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 1)))
+    child = np.random.SeedSequence((seed, 0x7A3D))
+    queries = make_queries(16, seed=seed)
+    return rng, child, queries

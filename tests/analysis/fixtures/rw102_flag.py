@@ -1,0 +1,13 @@
+"""RW102 flagging fixture: ad-hoc child-seed derivation."""
+import numpy as np
+
+
+def make_queries(count, seed=0):
+    return list(range(count))
+
+
+def run(seed):
+    rng = np.random.default_rng(seed + 1)  # offset collides across sites
+    salted = np.random.SeedSequence(seed ^ 0x7A3D)  # xor-mix, same problem
+    queries = make_queries(16, seed=seed * 31)
+    return rng, salted, queries

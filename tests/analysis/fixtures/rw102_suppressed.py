@@ -1,0 +1,8 @@
+"""RW102 suppressed fixture: a frozen historical stream, with reason."""
+import numpy as np
+
+
+def golden_weights(num_edges, seed):
+    # repro: allow[RW102] frozen stream: golden files pin the historical xor derivation
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    return rng.uniform(1.0, 64.0, size=num_edges)

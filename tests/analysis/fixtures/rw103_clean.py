@@ -1,0 +1,27 @@
+"""RW103 clean fixture: both accepted lifecycle shapes."""
+import numpy as np
+from multiprocessing import shared_memory
+
+
+def broadcast_scoped(array: np.ndarray):
+    with shared_memory.SharedMemory(create=True, size=array.nbytes) as shm:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return bytes(shm.buf)
+
+
+def broadcast_guarded(array: np.ndarray):
+    shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return shm
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+
+
+def attach_only(name: str):
+    # create=False (attach) takes no ownership; nothing to flag.
+    return shared_memory.SharedMemory(name=name)

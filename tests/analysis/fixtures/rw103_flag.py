@@ -1,0 +1,10 @@
+"""RW103 flagging fixture: a shared segment with no guaranteed unlink."""
+import numpy as np
+from multiprocessing import shared_memory
+
+
+def broadcast(array: np.ndarray):
+    shm = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array  # a cast failure here leaks the segment forever
+    return shm

@@ -1,0 +1,7 @@
+"""RW103 suppressed fixture: ownership handed to a caller, with reason."""
+from multiprocessing import shared_memory
+
+
+def create_for_harness(size: int):
+    # repro: allow[RW103] test harness owns cleanup; its teardown unlinks every segment
+    return shared_memory.SharedMemory(create=True, size=size)

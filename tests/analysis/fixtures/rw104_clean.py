@@ -1,0 +1,34 @@
+"""RW104 clean fixture: async waits and executor dispatch only."""
+import asyncio
+from functools import partial
+
+
+def run_walks(queries, seed=0):
+    return queries
+
+
+async def handler(queries):
+    await asyncio.sleep(0.01)
+    loop = asyncio.get_running_loop()
+    # Handing the sync engine to an executor is the sanctioned shape;
+    # the callable is an argument, not a call, so nothing blocks here.
+    results = await loop.run_in_executor(None, partial(run_walks, queries, seed=1))
+    return results
+
+
+def sync_helper(queries):
+    # Blocking calls are fine outside async bodies...
+    import time
+
+    time.sleep(0.0)
+    return run_walks(queries)
+
+
+async def outer():
+    def inner(queries):
+        # ...including inside a *sync* def nested in an async one:
+        # only calling it on the loop would block, which the nested
+        # body cannot show.
+        return run_walks(queries)
+
+    return inner

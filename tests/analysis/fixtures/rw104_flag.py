@@ -1,0 +1,14 @@
+"""RW104 flagging fixture: blocking work on the event loop."""
+import time
+
+
+def run_walks(queries, seed=0):
+    return queries
+
+
+async def handler(queries):
+    time.sleep(0.01)  # stalls every other coroutine
+    results = run_walks(queries, seed=1)  # sync engine on the loop
+    with open("/tmp/results.txt", "w") as out:  # sync file I/O
+        out.write(str(results))
+    return results

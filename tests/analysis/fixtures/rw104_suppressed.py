@@ -1,0 +1,7 @@
+"""RW104 suppressed fixture: a justified blocking call, with reason."""
+import time
+
+
+async def startup_probe():
+    # repro: allow[RW104] startup path before the loop serves traffic; bounded 1ms backoff
+    time.sleep(0.001)

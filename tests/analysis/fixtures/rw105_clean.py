@@ -1,0 +1,21 @@
+"""RW105 clean fixture: sets reduced or sorted before ordering matters."""
+import numpy as np
+
+
+def unique_vertices(edges):
+    return sorted({source for source, _ in edges})
+
+
+def format_names(names):
+    pool = set(names) - {"skip"}
+    return ", ".join(sorted(pool))
+
+
+def count_unique(frontier):
+    # Unordered reductions over sets are fine.
+    unique = set(frontier)
+    return len(unique), min(unique, default=0)
+
+
+def visit_all(frontier):
+    return np.array(sorted(set(frontier)))

@@ -1,0 +1,18 @@
+"""RW105 flagging fixture: set iteration order leaking into outputs."""
+import numpy as np
+
+
+def unique_vertices(edges):
+    return list({source for source, _ in edges})  # hash order into a list
+
+
+def format_names(names):
+    pool = set(names) - {"skip"}
+    return ", ".join(pool)  # hash order into a string
+
+
+def visit_all(frontier):
+    order = []
+    for vertex in set(frontier):  # hash order drives the walk order
+        order.append(vertex)
+    return np.array(order)

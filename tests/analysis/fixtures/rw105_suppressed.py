@@ -1,0 +1,10 @@
+"""RW105 suppressed fixture: order provably irrelevant, with reason."""
+
+
+def drain(pending):
+    closed = []
+    # repro: allow[RW105] drain order irrelevant: close() is idempotent and commutative
+    for handle in set(pending):
+        handle.close()
+        closed.append(handle)
+    return closed
