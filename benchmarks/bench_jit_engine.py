@@ -1,0 +1,192 @@
+"""Throughput benchmark: fused jit kernels vs the vectorized batch engine.
+
+Runs the acceptance workloads — DeepWalk and Node2Vec on an RMAT-16
+graph — through the numba-compiled per-walker kernels
+(:mod:`repro.walks.jit`) and the single-core batch engine, both warmed
+(kernel preparation and numba compilation untimed), and compares
+hops/sec.  With numba importable the jit engine must reach
+``--min-speedup`` (default 3x) over batch on *both* algorithms or the
+benchmark exits non-zero; without numba the kernels execute interpreted
+— bit-identical, nowhere near compiled speed — so the ratio is reported
+but not enforced, and the committed record says so
+(``gate.enforced: false``, ``numba_available: false``).
+
+Every run, gated or advisory, verifies the conformance property CI must
+never lose: the jit paths and hop counts are bit-identical to batch on
+the full query batch, for both algorithms.
+
+The machine-readable ``BENCH_jit.json`` (hops/sec per algorithm, host
+block, gate status) is committed alongside code changes so the perf
+trajectory lives in version control.
+
+Run:  PYTHONPATH=src python benchmarks/bench_jit_engine.py          # acceptance run
+      PYTHONPATH=src python benchmarks/bench_jit_engine.py --smoke  # fast CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.reporting import resolve_bench_json_path, write_bench_json
+from repro.bench.workloads import make_spec
+from repro.engines import hops_per_second
+from repro.graph import rmat
+from repro.sampling.hybrid import make_walk_kernel
+from repro.walks import EngineStats, make_queries
+from repro.walks.batch import run_walks_batch_arrays
+from repro.walks.jit import NUMBA_AVAILABLE, jit_state_from_kernel, run_walks_jit_arrays
+
+#: The two acceptance algorithms: first-order alias draws (DeepWalk) and
+#: second-order rejection rounds (Node2Vec) — the cheapest and the most
+#: RNG-hungry per-step paths through the fused kernel.
+GATED_ALGORITHMS = ("DeepWalk", "Node2Vec")
+
+
+def _bench_cell(graph, algorithm, queries, length, seed, sampler="auto"):
+    """Run one algorithm on both engines; returns the result row."""
+    spec = make_spec(algorithm)
+    spec.max_length = length
+    kernel = make_walk_kernel(spec.make_sampler(), sampler)
+    kernel.prepare(graph)
+    query_ids = np.fromiter((q.query_id for q in queries), np.int64, len(queries))
+    starts = np.fromiter((q.start_vertex for q in queries), np.int64, len(queries))
+
+    batch_stats = EngineStats()
+    started = time.perf_counter()
+    b_paths, b_hops = run_walks_batch_arrays(
+        graph, spec, kernel, starts, query_ids, seed=seed, stats=batch_stats
+    )
+    batch_s = time.perf_counter() - started
+    batch_rate = hops_per_second(batch_stats.total_hops, batch_s)
+
+    state = jit_state_from_kernel(graph, spec, kernel)
+    # Warmup: numba compiles the kernel on first entry (disk-cached via
+    # cache=True); that one-time cost must not land in the timed section.
+    run_walks_jit_arrays(graph, spec, state, starts[:64], query_ids[:64],
+                         seed=seed + 99)
+    jit_stats = EngineStats()
+    started = time.perf_counter()
+    j_paths, j_hops = run_walks_jit_arrays(
+        graph, spec, state, starts, query_ids, seed=seed, stats=jit_stats
+    )
+    jit_s = time.perf_counter() - started
+    jit_rate = hops_per_second(jit_stats.total_hops, jit_s)
+
+    # Conformance: padded buffer widths may differ, the walks must not.
+    identical = bool(np.array_equal(b_hops, j_hops))
+    if identical:
+        for row in range(b_hops.shape[0]):
+            n = int(b_hops[row]) + 1
+            if not np.array_equal(b_paths[row, :n], j_paths[row, :n]):
+                identical = False
+                break
+    speedup = jit_rate / batch_rate if batch_rate else float("inf")
+    print(f"{algorithm:<10s} batch {batch_stats.total_hops:>9d} hops "
+          f"{batch_s:7.3f}s {batch_rate:>12,.0f} hops/s | "
+          f"jit {jit_s:7.3f}s {jit_rate:>12,.0f} hops/s | "
+          f"{speedup:5.2f}x {'bit-identical' if identical else 'DIVERGED'}")
+    return {
+        "algorithm": algorithm,
+        "batch_rate": batch_rate,
+        "jit_rate": jit_rate,
+        "speedup": speedup,
+        "identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=16,
+                        help="RMAT scale (2**scale vertices; acceptance default 16)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--queries", type=int, default=50_000)
+    parser.add_argument("--length", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail when jit/batch hops-per-sec falls below this "
+                        "on a host with numba installed")
+    parser.add_argument("--json", default=None,
+                        help="machine-readable output path; defaults to "
+                        "benchmarks/BENCH_jit.json for full runs and off for "
+                        "--smoke (so CI smokes don't overwrite the acceptance "
+                        "record); '' disables")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: tiny RMAT-10 workload, verify jit results "
+                        "are bit-identical to batch instead of gating speedup")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale = min(args.scale, 10)
+        args.edge_factor = min(args.edge_factor, 8)
+        args.queries = min(args.queries, 1_000)
+        args.length = min(args.length, 20)
+    args.json = resolve_bench_json_path(args.json, args.smoke, __file__,
+                                        "BENCH_jit.json")
+
+    graph = rmat(args.scale, edge_factor=args.edge_factor, seed=args.seed)
+    queries = make_queries(graph, args.queries, seed=args.seed + 1)
+    print(f"graph: {graph}")
+    print(f"workload: {args.queries} queries, length {args.length}")
+    print(f"numba: {'available (compiled kernels)' if NUMBA_AVAILABLE else 'absent (interpreted kernels, gate advisory)'}")
+
+    rows = [_bench_cell(graph, algorithm, queries, args.length, args.seed + 2)
+            for algorithm in GATED_ALGORITHMS]
+
+    gated = NUMBA_AVAILABLE and not args.smoke
+    if args.json:
+        write_bench_json(args.json, {
+            "benchmark": "jit_engine",
+            "workload": {
+                "graph": f"rmat-{args.scale}",
+                "edge_factor": args.edge_factor,
+                "queries": args.queries,
+                "length": args.length,
+                "sampler": "auto",
+                "smoke": args.smoke,
+            },
+            "numba_available": NUMBA_AVAILABLE,
+            "hops_per_sec": {
+                row["algorithm"]: {
+                    "batch": round(row["batch_rate"]),
+                    "jit": round(row["jit_rate"]),
+                } for row in rows
+            },
+            "speedup_vs_batch": {
+                row["algorithm"]: round(row["speedup"], 3) for row in rows
+            },
+            "bit_identical": all(row["identical"] for row in rows),
+            # Records are self-describing about whether the >=3x gate
+            # applied on the recording host.
+            "gate": {
+                "min_speedup": args.min_speedup,
+                "enforced": gated,
+                "status": "gated" if gated else "advisory",
+            },
+        })
+        print(f"wrote {args.json}")
+
+    # The conformance property holds on every host, compiled or not.
+    diverged = [row["algorithm"] for row in rows if not row["identical"]]
+    if diverged:
+        print(f"FAIL: jit paths diverge from batch on {', '.join(diverged)}",
+              file=sys.stderr)
+        return 1
+    if not gated:
+        reason = "smoke" if args.smoke else "numba absent, interpreted kernels"
+        print(f"PASS (advisory: {reason}; speedup gate not enforced)")
+        return 0
+    slow = [row["algorithm"] for row in rows if row["speedup"] < args.min_speedup]
+    if slow:
+        print(f"FAIL: jit engine below required {args.min_speedup:.1f}x on "
+              f"{', '.join(slow)}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

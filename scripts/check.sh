@@ -9,10 +9,13 @@
 # must shed zero requests under nominal open-loop load while replaying
 # bit-identically offline, the dynamic subsystem must publish
 # snapshots bit-identical to from-scratch builds after a streamed
-# update trace, and the hybrid auto sampler must stay bit-identical to
-# fixed-strategy kernels under forced selection maps.  (The
-# machine-readable BENCH_*.json perf records are rewritten by the
-# *full* benchmark runs, not by these smokes.)
+# update trace, the hybrid auto sampler must stay bit-identical to
+# fixed-strategy kernels under forced selection maps, and the fused jit
+# kernels must stay bit-identical to the batch engine (compiled where
+# numba is installed, interpreted through the same code path where it
+# is not) plus run end-to-end from the CLI.  (The machine-readable
+# BENCH_*.json perf records are rewritten by the *full* benchmark runs,
+# not by these smokes.)
 #
 # When pytest-cov is installed (it is in CI; see requirements-ci.txt),
 # the suite runs under a coverage gate on the sampling + dynamic
@@ -67,3 +70,9 @@ python benchmarks/bench_dynamic.py --smoke
 echo
 echo "== hybrid smoke (auto vs fixed strategies, conformance + throughput) =="
 python benchmarks/bench_hybrid.py --smoke
+
+echo
+echo "== jit smoke (fused kernels bit-identical to batch + CLI end-to-end) =="
+python benchmarks/bench_jit_engine.py --smoke
+python -m repro walk --engine jit --algorithm DeepWalk --queries 200 --length 20 --scale 0.05
+python -m repro walk --engine jit --algorithm Node2Vec --queries 200 --length 20 --scale 0.05

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import platform
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
@@ -96,6 +98,33 @@ def geometric_mean(values: Sequence[float]) -> float:
     return product ** (1.0 / len(values))
 
 
+def host_metadata() -> dict:
+    """Identity of the machine a BENCH record was taken on.
+
+    Absolute hops/sec numbers are meaningless without knowing what ran
+    them: a 2-core CI runner and a 32-core workstation differ by an
+    order of magnitude on the same code.  Every committed record carries
+    this block so a regression-looking diff can be told apart from a
+    host change — and so advisory runs (too few cores, missing numba)
+    are interpretable after the fact.
+    """
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:  # optional accelerator dep, absent on many hosts
+        numba_version = None
+    import numpy
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "numba": numba_version,
+    }
+
+
 def write_bench_json(path, payload: dict) -> None:
     """Write one engine benchmark's machine-readable record.
 
@@ -103,8 +132,11 @@ def write_bench_json(path, payload: dict) -> None:
     workload, host core count) that are committed alongside code changes,
     so the perf trajectory across PRs lives in version control rather than
     in prose.  Keys are sorted and floats rounded by the caller, keeping
-    diffs reviewable.
+    diffs reviewable.  A ``host`` block (:func:`host_metadata`) is
+    stamped into every record here, so no benchmark can forget it.
     """
+    payload = dict(payload)
+    payload.setdefault("host", host_metadata())
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 

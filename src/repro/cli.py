@@ -30,6 +30,7 @@ from repro.sampling.hybrid import SAMPLER_MODES
 from repro.errors import ReproError, WalkConfigError
 from repro.graph import dataset_names, load_dataset, load_edge_list, load_npz
 from repro.graph.datasets import assign_metapath_schema
+from repro.parallel import WORKER_BACKENDS
 from repro.resources import DEVICE_CATALOG, get_device
 from repro.sampling.base import derive_seed, normalize_seed
 from repro.sim import UtilizationTracer, render_dashboard
@@ -53,6 +54,7 @@ SIM_ONLY_WALK_OPTIONS = (
 #: options too, but checking here fails before a large graph loads.
 ENGINE_ONLY_WALK_OPTIONS = (
     ("--workers", "workers", None, "parallel"),
+    ("--backend", "backend", None, "parallel"),
 )
 
 
@@ -69,11 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--engine", choices=ENGINES, default="sim",
                       help="execution engine: 'sim' = cycle-level accelerator "
                       "model, 'batch' = vectorized software frontier engine, "
+                      "'jit' = numba-compiled fused per-walker kernels "
+                      "(bit-identical to batch; falls back to batch with a "
+                      "warning when numba is absent), "
                       "'parallel' = sharded multicore batch engine, "
                       "'reference' = pure-Python oracle loop")
     walk.add_argument("--workers", type=int, default=None,
                       help="worker processes (parallel engine only; "
                       "default: all cores)")
+    walk.add_argument("--backend", choices=WORKER_BACKENDS, default=None,
+                      help="per-worker shard core (parallel engine only): "
+                      "'batch' supersteps or 'jit' fused kernels")
     walk.add_argument("--sampler", choices=SAMPLER_MODES, default="default",
                       help="sampling backend (software engines only): "
                       "'default' = the algorithm's single-strategy sampler, "
@@ -109,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput.",
     )
     serve.add_argument("--algorithm", choices=ALGORITHMS, default="DeepWalk")
-    serve.add_argument("--engine", choices=("batch", "parallel", "reference"),
+    serve.add_argument("--engine", choices=("batch", "jit", "parallel", "reference"),
                        default="batch",
                        help="execution engine behind the service (default batch)")
     serve.add_argument("--workers", type=int, default=None,
@@ -176,8 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="AST-based static analysis enforcing the repository's "
         "determinism contract (README.md): SeedSequence-rooted RNG streams "
         "(RW101/RW102), shared-memory segment lifecycles (RW103), a "
-        "non-blocking asyncio serve path (RW104), and no set-ordered "
-        "outputs (RW105). Exits 1 if any unsuppressed finding remains; "
+        "non-blocking asyncio serve path (RW104), no set-ordered "
+        "outputs (RW105), and disk-cached numba kernels (RW106). "
+        "Exits 1 if any unsuppressed finding remains; "
         "suppress with `# repro: allow[RW###] <reason>`.",
     )
     lint.add_argument("paths", nargs="*",
@@ -227,7 +236,7 @@ def _run_software_engine(args, graph, spec, queries) -> int:
     stats = EngineStats()
     results, elapsed = run_software_walks(
         args.engine, graph, spec, queries, seed=derive_seed(args.seed, "engine"), stats=stats,
-        workers=args.workers, sampler=args.sampler,
+        workers=args.workers, sampler=args.sampler, backend=args.backend,
     )
     print(f"\n{args.engine} engine: {stats.total_hops} hops in {elapsed:.3f}s "
           f"({hops_per_second(stats.total_hops, elapsed):,.0f} hops/s)")

@@ -1,17 +1,19 @@
 """Engine registry: the one place that maps engine names to runners.
 
-Four engines execute the same ``WalkSpec``/``Query`` workloads and are
+Five engines execute the same ``WalkSpec``/``Query`` workloads and are
 held to the same statistical oracle: the cycle-level accelerator model
 (``sim``), the sharded multicore engine (``parallel``), the vectorized
-batch engine (``batch``) and the pure-Python reference loop
-(``reference``).  The CLI and the example applications both dispatch
-through this module so the engine list, each engine's option surface,
-and the timing methodology cannot drift between entry points.
+batch engine (``batch``), the numba-compiled fused-kernel engine
+(``jit``) and the pure-Python reference loop (``reference``).  The CLI
+and the example applications both dispatch through this module so the
+engine list, each engine's option surface, and the timing methodology
+cannot drift between entry points.
 
-Engine-specific options (today: ``workers`` for the parallel engine)
-ride through ``run_software_walks`` as keyword arguments; the registry
-validates them against each engine's declared option set so a typo or a
-flag aimed at the wrong engine fails loudly instead of being ignored.
+Engine-specific options (``workers``/``backend`` for the parallel
+engine, ``sampler`` everywhere) ride through ``run_software_walks`` as
+keyword arguments; the registry validates them against each engine's
+declared option set so a typo or a flag aimed at the wrong engine fails
+loudly instead of being ignored.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from repro.core import RidgeWalker, RidgeWalkerConfig
 from repro.errors import WalkConfigError
 from repro.graph.csr import CSRGraph
 from repro.memory.spec import HBM2_U55C
-from repro.parallel import ParallelWalkEngine, run_walks_parallel
+from repro.parallel import ParallelWalkEngine, run_walks_parallel, validate_worker_backend
 from repro.sampling.hybrid import (
     SAMPLER_MODES,
     make_walk_kernel,
@@ -32,13 +34,21 @@ from repro.sampling.hybrid import (
 )
 from repro.walks import EngineStats, Query, WalkResults, WalkSpec, run_walks, run_walks_batch
 from repro.walks.batch import check_batch_spec
+from repro.walks.jit import (
+    NUMBA_AVAILABLE,
+    jit_state_from_kernel,
+    run_walks_jit,
+    run_walks_jit_prepared,
+    warn_numba_fallback,
+)
 
 #: Every engine name accepted by ``--engine`` flags.
-ENGINES = ("sim", "batch", "parallel", "reference")
+ENGINES = ("sim", "batch", "jit", "parallel", "reference")
 
 #: The engines that run as plain software (no cycle model).
 SOFTWARE_ENGINES = {
     "batch": run_walks_batch,
+    "jit": run_walks_jit,
     "parallel": run_walks_parallel,
     "reference": run_walks,
 }
@@ -47,10 +57,12 @@ SOFTWARE_ENGINES = {
 #: ``(graph, spec, queries, seed, stats)`` signature.  ``sampler``
 #: (``"default"`` | ``"auto"``) picks the sampling backend on every
 #: engine: auto runs the cost-model-driven per-row hybrid of
-#: :mod:`repro.sampling.hybrid`.
+#: :mod:`repro.sampling.hybrid`.  ``backend`` (``"batch"`` | ``"jit"``)
+#: picks the per-shard core the parallel engine's workers run.
 ENGINE_OPTIONS: dict[str, frozenset[str]] = {
     "batch": frozenset({"sampler"}),
-    "parallel": frozenset({"workers", "sampler"}),
+    "jit": frozenset({"sampler"}),
+    "parallel": frozenset({"workers", "sampler", "backend"}),
     "reference": frozenset({"sampler"}),
 }
 
@@ -80,6 +92,8 @@ def _validate_engine_options(engine: str, options: dict) -> dict:
         )
     if "sampler" in options:
         validate_sampler_mode(options["sampler"])
+    if "backend" in options:
+        validate_worker_backend(options["backend"])
     return options
 
 
@@ -224,17 +238,66 @@ class _PreparedBatchEngine(PreparedEngine):
         self._kernel = kernel
 
 
+class _PreparedJitEngine(PreparedEngine):
+    """Jit engine handle: prepared kernel state recast as typed arrays.
+
+    Construction prepares the *batch* kernel (alias tables, CDF rows,
+    edge keys, strategy codes) and rebinds its arrays into the fused
+    kernel's :class:`~repro.walks.jit.JitWalkState` — one source of truth
+    for the tables, so the two engines cannot drift.  The first
+    :meth:`run` pays numba's compile (cached on disk via
+    ``cache=True``); without numba every run degrades to the held batch
+    kernel after a single warning, bit-identically.
+    """
+
+    name = "jit"
+
+    def __init__(self, graph: CSRGraph, spec: WalkSpec, sampler: str = "default") -> None:
+        check_batch_spec(spec)
+        self._graph = graph
+        self._spec = spec
+        self._sampler_mode = validate_sampler_mode(sampler)
+        self._kernel = make_walk_kernel(spec.make_sampler(), sampler)
+        self._kernel.prepare(graph)
+        self._state = jit_state_from_kernel(graph, spec, self._kernel)
+
+    def run(self, queries, seed=0, stats=None):
+        if not NUMBA_AVAILABLE:
+            warn_numba_fallback()
+            return run_walks_batch(
+                self._graph, self._spec, queries, seed=seed, stats=stats,
+                kernel=self._kernel,
+            )
+        return run_walks_jit_prepared(
+            self._graph, self._spec, self._state, queries, seed=seed, stats=stats
+        )
+
+    def swap_snapshot(self, snapshot) -> None:
+        graph, state = _resolve_snapshot(snapshot)
+        kernel = make_walk_kernel(self._spec.make_sampler(), self._sampler_mode)
+        arrays = state.kernel_arrays(kernel) if state is not None else None
+        if arrays:
+            kernel.load_state(arrays)
+        elif arrays is None:
+            kernel.prepare(graph)
+        # arrays == {}: the kernel holds no per-graph state; the jit
+        # state still rebinds (strategy codes size with the graph).
+        self._graph = graph
+        self._kernel = kernel
+        self._state = jit_state_from_kernel(graph, self._spec, kernel)
+
+
 class _PreparedParallelEngine(PreparedEngine):
     """Parallel engine handle wrapping a persistent worker pool."""
 
     name = "parallel"
 
     def __init__(self, graph: CSRGraph, spec: WalkSpec, workers: int | None = None,
-                 sampler: str = "default") -> None:
+                 sampler: str = "default", backend: str = "batch") -> None:
         self._spec = spec
         self._sampler_mode = validate_sampler_mode(sampler)
         self._engine = ParallelWalkEngine(graph, spec, workers=workers,
-                                          sampler=sampler)
+                                          sampler=sampler, backend=backend)
 
     def run(self, queries, seed=0, stats=None):
         return self._engine.run(queries, seed=seed, stats=stats)
@@ -255,6 +318,7 @@ class _PreparedParallelEngine(PreparedEngine):
 _PREPARED_ENGINES = {
     "reference": _PreparedReferenceEngine,
     "batch": _PreparedBatchEngine,
+    "jit": _PreparedJitEngine,
     "parallel": _PreparedParallelEngine,
 }
 

@@ -38,7 +38,21 @@ from repro.parallel.shared_graph import KERNEL_PREFIX, SharedArrayStore, graph_a
 from repro.sampling.hybrid import make_walk_kernel, validate_sampler_mode
 from repro.walks.base import Query, WalkResults, WalkSpec, split_path_buffer
 from repro.walks.batch import check_batch_spec
+from repro.walks.jit import NUMBA_AVAILABLE, warn_numba_fallback
 from repro.walks.reference import EngineStats
+
+#: Per-worker shard cores the pool can run (``backend=`` option).
+WORKER_BACKENDS = ("batch", "jit")
+
+
+def validate_worker_backend(backend: str) -> str:
+    """Reject unknown worker backends, naming the valid choices."""
+    if backend not in WORKER_BACKENDS:
+        raise WalkConfigError(
+            f"unknown worker backend {backend!r}; expected one of "
+            f"{list(WORKER_BACKENDS)}"
+        )
+    return backend
 
 
 def default_workers() -> int:
@@ -83,9 +97,16 @@ class ParallelWalkEngine:
         workers: int | None = None,
         shards_per_worker: int = 4,
         sampler: str = "default",
+        backend: str = "batch",
     ) -> None:
         check_batch_spec(spec)
         validate_sampler_mode(sampler)
+        validate_worker_backend(backend)
+        if backend == "jit" and not NUMBA_AVAILABLE:
+            # Same degradation contract as --engine jit: results are
+            # bit-identical either way, so warn once and run batch cores.
+            warn_numba_fallback()
+            backend = "batch"
         if workers is not None and workers < 1:
             raise WalkConfigError(f"workers must be >= 1, got {workers}")
         if shards_per_worker < 1:
@@ -95,6 +116,7 @@ class ParallelWalkEngine:
         self._graph = graph
         self._spec = spec
         self._sampler_mode = sampler
+        self._backend = backend
         self._workers = workers or default_workers()
         # Oversharding streams results back while later shards still
         # compute, hiding the parent's merge cost behind worker time; it
@@ -120,7 +142,7 @@ class ParallelWalkEngine:
                 processes=self._workers,
                 initializer=_worker.init_worker,
                 initargs=(self._store.handle, spec, self._untrack_attach,
-                          self._swap_barrier, sampler),
+                          self._swap_barrier, sampler, backend),
             )
         except Exception:
             self._store.close()
@@ -275,12 +297,16 @@ def run_walks_parallel(
     stats: EngineStats | None = None,
     workers: int | None = None,
     sampler: str = "default",
+    backend: str = "batch",
 ) -> WalkResults:
     """One-shot parallel execution (``--engine parallel``).
 
     Spins the pool up and down around a single batch; long-lived callers
     should hold a :class:`ParallelWalkEngine` instead so pool and
-    shared-graph setup amortize across requests.
+    shared-graph setup amortize across requests.  ``backend="jit"`` runs
+    the fused jit kernels inside each worker (bit-identical results).
     """
-    with ParallelWalkEngine(graph, spec, workers=workers, sampler=sampler) as engine:
+    with ParallelWalkEngine(
+        graph, spec, workers=workers, sampler=sampler, backend=backend
+    ) as engine:
         return engine.run(queries, seed=seed, stats=stats)

@@ -26,6 +26,7 @@ from repro.parallel.shared_graph import (
 from repro.sampling.hybrid import make_walk_kernel
 from repro.walks.base import compact_path_matrix
 from repro.walks.batch import run_walks_batch_arrays
+from repro.walks.jit import jit_state_from_kernel, run_walks_jit_arrays
 from repro.walks.reference import EngineStats
 
 #: Scalar EngineStats counters a worker reports back per shard, in order.
@@ -44,6 +45,8 @@ _SPEC = None
 _KERNEL = None
 _SWAP_BARRIER = None
 _SAMPLER_MODE = "default"
+_BACKEND = "batch"
+_JIT_STATE = None
 
 
 def init_worker(
@@ -52,6 +55,7 @@ def init_worker(
     untrack_segment: bool = False,
     swap_barrier=None,
     sampler_mode: str = "default",
+    backend: str = "batch",
 ) -> None:
     """Pool initializer: attach the shared graph and load kernel state.
 
@@ -62,14 +66,23 @@ def init_worker(
     swaps.  ``sampler_mode`` picks the kernel family (``"auto"`` =
     hybrid) — the parent broadcasts the prepared state either way, so
     workers only instantiate the matching shell and load it.
+    ``backend`` picks each worker's per-shard core: the batch superstep
+    engine or the fused jit kernels (bit-identical; the parent only
+    requests ``"jit"`` when numba is importable).  The jit state is a
+    zero-copy recast of the loaded kernel's arrays.
     """
     global _STORE, _GRAPH, _SPEC, _KERNEL, _SWAP_BARRIER, _SAMPLER_MODE
+    global _BACKEND, _JIT_STATE
     _STORE = SharedArrayStore.attach(handle, untrack=untrack_segment)
     _GRAPH = graph_from_store(_STORE)
     _SPEC = spec
     _SAMPLER_MODE = sampler_mode
     _KERNEL = make_walk_kernel(spec.make_sampler(), sampler_mode)
     _KERNEL.load_state(kernel_state_from_store(_STORE))
+    _BACKEND = backend
+    _JIT_STATE = (
+        jit_state_from_kernel(_GRAPH, spec, _KERNEL) if backend == "jit" else None
+    )
     _SWAP_BARRIER = swap_barrier
 
 
@@ -83,7 +96,7 @@ def adopt_store(task):
     cross-checks the returned pids anyway.
     """
     handle, untrack = task
-    global _STORE, _GRAPH, _KERNEL
+    global _STORE, _GRAPH, _KERNEL, _JIT_STATE
     if _SWAP_BARRIER is not None:
         _SWAP_BARRIER.wait()
     old_store = _STORE
@@ -92,6 +105,8 @@ def adopt_store(task):
     kernel = make_walk_kernel(_SPEC.make_sampler(), _SAMPLER_MODE)
     kernel.load_state(kernel_state_from_store(_STORE))
     _KERNEL = kernel
+    if _BACKEND == "jit":
+        _JIT_STATE = jit_state_from_kernel(_GRAPH, _SPEC, kernel)
     if old_store is not None:
         old_store.close()
     return os.getpid()
@@ -109,9 +124,14 @@ def run_shard(task):
     """
     positions, query_ids, starts, seed = task
     stats = EngineStats()
-    paths, hops = run_walks_batch_arrays(
-        _GRAPH, _SPEC, _KERNEL, starts, query_ids, seed=seed, stats=stats
-    )
+    if _BACKEND == "jit":
+        paths, hops = run_walks_jit_arrays(
+            _GRAPH, _SPEC, _JIT_STATE, starts, query_ids, seed=seed, stats=stats
+        )
+    else:
+        paths, hops = run_walks_batch_arrays(
+            _GRAPH, _SPEC, _KERNEL, starts, query_ids, seed=seed, stats=stats
+        )
     flat, _ = compact_path_matrix(paths, hops)
     counts = np.array([getattr(stats, name) for name in STAT_FIELDS], dtype=np.int64)
     return positions, flat, hops, counts

@@ -1,0 +1,31 @@
+"""Numba-JIT compiled walk engine (``--engine jit``).
+
+Fused per-walker nopython loops over the same prepared sampler state the
+batch engine uses — bit-identical paths, no superstep barrier.  Degrades
+to the batch engine (with one warning) when numba is absent.
+"""
+
+from repro.walks.jit.compat import NUMBA_AVAILABLE, njit
+from repro.walks.jit.engine import (
+    JitWalkState,
+    jit_state_from_arrays,
+    jit_state_from_kernel,
+    reset_fallback_warning,
+    run_walks_jit,
+    run_walks_jit_arrays,
+    run_walks_jit_prepared,
+    warn_numba_fallback,
+)
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "njit",
+    "JitWalkState",
+    "jit_state_from_arrays",
+    "jit_state_from_kernel",
+    "reset_fallback_warning",
+    "run_walks_jit",
+    "run_walks_jit_arrays",
+    "run_walks_jit_prepared",
+    "warn_numba_fallback",
+]

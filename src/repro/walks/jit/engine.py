@@ -1,0 +1,328 @@
+"""JIT walk engine: prepared typed-array state + fused kernel driver.
+
+Public surface:
+
+* :func:`run_walks_jit` — the ``Query``-object API registered as
+  ``--engine jit``.  With numba installed it runs the fused per-walker
+  kernel (:mod:`repro.walks.jit.kernels`); without numba it warns once
+  and delegates to the batch engine, which is bit-identical by contract.
+* :func:`run_walks_jit_arrays` — the array-level core (parallel workers
+  and the equivalence tests call this directly; it always executes the
+  kernel, compiled or interpreted).
+* :func:`jit_state_from_kernel` — derives the kernel's typed-array state
+  from a *prepared batch kernel*, so the jit engine consumes the exact
+  same alias tables / CDF rows / edge keys / strategy codes the batch
+  engine would, including those handed over by a dynamic
+  ``GraphSnapshot`` through ``SamplerState.kernel_arrays``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, SamplingError
+from repro.graph.csr import CSRGraph
+from repro.sampling.alias_sampler import AliasSampler
+from repro.sampling.base import Sampler
+from repro.sampling.hybrid import (
+    HybridKernel,
+    make_walk_kernel,
+    validate_sampler_mode,
+)
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import _MAX_REJECTION_ROUNDS, RejectionSampler
+from repro.sampling.reservoir import ReservoirSampler
+from repro.sampling.uniform import UniformSampler
+from repro.sampling.vectorized import VectorizedKernel, seed_sequence_states
+from repro.walks.base import Query, WalkResults, WalkSpec
+from repro.walks.batch import check_batch_spec, run_walks_batch
+from repro.walks.jit import kernels
+from repro.walks.jit.compat import NUMBA_AVAILABLE
+from repro.walks.reference import EngineStats
+
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_I16 = np.empty(0, dtype=np.int16)
+
+_BASE_CODES: tuple[tuple[type, int, int], ...] = (
+    (UniformSampler, kernels.CODE_UNIFORM, kernels.FAMILY_FIRST),
+    (AliasSampler, kernels.CODE_ALIAS, kernels.FAMILY_FIRST),
+    (InverseTransformSampler, kernels.CODE_ITS, kernels.FAMILY_FIRST),
+    (RejectionSampler, kernels.CODE_REJECTION, kernels.FAMILY_REJECTION),
+    (ReservoirSampler, kernels.CODE_RESERVOIR, kernels.FAMILY_RESERVOIR),
+)
+
+_FALLBACK_WARNED = False
+
+
+def warn_numba_fallback() -> None:
+    """One warning per process: jit requested, numba absent, batch used."""
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        "numba is not installed; engine 'jit' is falling back to the batch "
+        "engine (paths are bit-identical, compiled speed is not) — install "
+        "numba to enable the compiled kernels",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm the once-per-process fallback warning (test hook)."""
+    global _FALLBACK_WARNED
+    _FALLBACK_WARNED = False
+
+
+@dataclass
+class JitWalkState:
+    """Typed arrays + scalars the fused kernel consumes.
+
+    Everything here is derived from a prepared batch kernel (or a
+    snapshot's ``SamplerState``), never built independently — one source
+    of truth for the tables keeps the two engines bit-identical by
+    construction.  Unused slots hold empty arrays so the kernel signature
+    stays monomorphic for numba's type cache.
+    """
+
+    codes: np.ndarray
+    family: int
+    alias_prob: np.ndarray = field(default_factory=lambda: _EMPTY_F64)
+    alias_index: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+    its_cdf: np.ndarray = field(default_factory=lambda: _EMPTY_F64)
+    its_row_totals: np.ndarray = field(default_factory=lambda: _EMPTY_F64)
+    edge_keys: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+    return_bias: float = 0.0
+    explore_bias: float = 0.0
+    max_bias: float = 0.0
+    p_inv: float = 0.0
+    q_inv: float = 0.0
+    second_order: bool = False
+    rejection_p: float = 0.0
+    rejection_q: float = 0.0
+
+
+def _base_code_and_family(base: Sampler) -> tuple[int, int]:
+    for cls, code, family in _BASE_CODES:
+        if isinstance(base, cls):
+            return code, family
+    raise SamplingError(
+        f"no jit kernel family for sampler {base.name!r}; use another engine"
+    )
+
+
+def jit_state_from_arrays(
+    graph: CSRGraph, base: Sampler, arrays: dict[str, np.ndarray]
+) -> JitWalkState:
+    """Build kernel state from prepared arrays (``state_arrays`` /
+    ``SamplerState.kernel_arrays`` format).
+
+    ``arrays`` carrying ``hybrid_strategy`` means auto mode (per-row
+    codes); otherwise every row runs the base sampler's own strategy.
+    Hub-bitmap arrays, when present, are ignored: the kernel's plain
+    binary search makes identical decisions.
+    """
+    code, family = _base_code_and_family(base)
+    if "hybrid_strategy" in arrays:
+        codes = np.ascontiguousarray(arrays["hybrid_strategy"], dtype=np.int8)
+    else:
+        codes = np.full(graph.num_vertices, code, dtype=np.int8)
+    state = JitWalkState(codes=codes, family=family)
+    state.alias_prob = arrays.get("alias_prob", _EMPTY_F64)
+    state.alias_index = arrays.get("alias_index", _EMPTY_I64)
+    state.its_cdf = arrays.get("its_cdf", _EMPTY_F64)
+    state.its_row_totals = arrays.get("its_row_totals", _EMPTY_F64)
+    state.edge_keys = arrays.get("edge_keys", _EMPTY_I64)
+    if isinstance(base, RejectionSampler):
+        state.return_bias = base.return_bias
+        state.explore_bias = base.explore_bias
+        state.max_bias = base.max_bias
+        state.rejection_p = base.p
+        state.rejection_q = base.q
+    elif isinstance(base, ReservoirSampler):
+        state.second_order = base.second_order
+        if base.second_order:
+            state.p_inv = 1.0 / base.p
+            state.q_inv = 1.0 / base.q
+    return state
+
+
+def jit_state_from_kernel(
+    graph: CSRGraph, spec: WalkSpec, kernel: VectorizedKernel
+) -> JitWalkState:
+    """Derive kernel state from a *prepared* batch kernel."""
+    base = kernel.base if isinstance(kernel, HybridKernel) else spec.make_sampler()
+    return jit_state_from_arrays(graph, base, kernel.state_arrays())
+
+
+def run_walks_jit_arrays(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    state: JitWalkState,
+    start_vertices: np.ndarray,
+    query_ids: np.ndarray,
+    seed: int = 0,
+    stats: EngineStats | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused-kernel core: run walks for aligned start/id arrays.
+
+    Same contract as ``run_walks_batch_arrays`` — returns ``(paths,
+    hops)`` with row ``k`` valid through ``paths[k, :hops[k] + 1]`` and
+    accumulates every :class:`EngineStats` counter.  Executes the kernel
+    whether or not numba is installed (interpreted execution is the
+    bit-identity test harness; production fallback lives in
+    :func:`run_walks_jit`).
+    """
+    num_queries = int(start_vertices.size)
+    starts = np.array(start_vertices, dtype=np.int64)
+    if starts.size and (starts.min() < 0 or starts.max() >= graph.num_vertices):
+        bad = int(starts[(starts < 0) | (starts >= graph.num_vertices)][0])
+        raise GraphError(
+            f"vertex {bad} out of range for graph with {graph.num_vertices} vertices"
+        )
+    max_length = int(spec.max_length)
+    paths = np.empty((num_queries, max_length + 1), dtype=np.int64)
+    hops = np.zeros(num_queries, dtype=np.int64)
+    if num_queries == 0:
+        return paths, hops
+
+    admissible = np.full(max_length, -1, dtype=np.int64)
+    term_prob = np.zeros(max_length, dtype=np.float64)
+    for step in range(max_length):
+        at = spec.admissible_type(step)
+        if at is not None:
+            admissible[step] = at
+        term_prob[step] = spec.termination_probability(step)
+    if (
+        admissible.size
+        and admissible.max() >= 0
+        and graph.edge_types is None
+        and kernels.CODE_RESERVOIR in state.codes
+    ):
+        raise SamplingError("admissible_type given but the graph has no edge types")
+
+    states = seed_sequence_states(seed, query_ids)
+    cause = np.zeros(num_queries, dtype=np.uint8)
+    counters = np.zeros(kernels.N_COUNTERS, dtype=np.int64)
+    weights = graph.weights if graph.weights is not None else _EMPTY_F64
+    edge_types = graph.edge_types if graph.edge_types is not None else _EMPTY_I16
+
+    args = (
+        graph.row_ptr,
+        graph.col,
+        weights,
+        graph.weights is not None,
+        edge_types,
+        graph.num_vertices,
+        state.edge_keys,
+        state.codes,
+        state.family,
+        state.alias_prob,
+        state.alias_index,
+        state.its_cdf,
+        state.its_row_totals,
+        state.return_bias,
+        state.explore_bias,
+        state.max_bias,
+        state.p_inv,
+        state.q_inv,
+        state.second_order,
+        spec.needs_prev_vertex,
+        admissible,
+        term_prob,
+        max_length,
+        starts,
+        states,
+        paths,
+        hops,
+        cause,
+        counters,
+    )
+    if NUMBA_AVAILABLE:
+        kernels.walk_kernel(*args)
+    else:
+        # Interpreted execution hits NumPy's scalar uint64 overflow
+        # warning on every wrapping stream bump; the wraparound *is* the
+        # RNG, so silence it here (nopython wraps silently).
+        with np.errstate(over="ignore"):
+            kernels.walk_kernel(*args)
+
+    if counters[kernels.IDX_REJECTION_OVERFLOW]:
+        raise SamplingError(
+            f"rejection sampling failed to accept after {_MAX_REJECTION_ROUNDS} "
+            f"rounds (p={state.rejection_p}, q={state.rejection_q})"
+        )
+    if stats is not None:
+        stats.sampling_proposals += int(counters[kernels.IDX_PROPOSALS])
+        stats.neighbor_reads += int(counters[kernels.IDX_READS])
+        stats.total_hops += int(hops.sum())
+        stats.per_query_hops.extend(int(h) for h in hops)
+        stats.dangling_terminations += int(np.count_nonzero(cause == kernels.CAUSE_DANGLING))
+        stats.early_terminations += int(np.count_nonzero(cause == kernels.CAUSE_EARLY))
+        stats.probabilistic_terminations += int(
+            np.count_nonzero(cause == kernels.CAUSE_PROBABILISTIC)
+        )
+        stats.length_terminations += int(np.count_nonzero(cause == kernels.CAUSE_LENGTH))
+    return paths, hops
+
+
+def run_walks_jit_prepared(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    state: JitWalkState,
+    queries: Sequence[Query],
+    seed: int = 0,
+    stats: EngineStats | None = None,
+) -> WalkResults:
+    """``Query``-object wrapper over :func:`run_walks_jit_arrays` for an
+    already-built :class:`JitWalkState` (the prepared-engine path)."""
+    results = WalkResults()
+    num_queries = len(queries)
+    if num_queries == 0:
+        return results
+    query_ids = np.fromiter(
+        (query.query_id for query in queries), dtype=np.int64, count=num_queries
+    )
+    starts = np.fromiter(
+        (query.start_vertex for query in queries), dtype=np.int64, count=num_queries
+    )
+    paths, hops = run_walks_jit_arrays(
+        graph, spec, state, starts, query_ids, seed=seed, stats=stats
+    )
+    results.extend_from_matrix(paths, hops)
+    return results
+
+
+def run_walks_jit(
+    graph: CSRGraph,
+    spec: WalkSpec,
+    queries: Sequence[Query],
+    seed: int = 0,
+    stats: EngineStats | None = None,
+    sampler: str = "default",
+) -> WalkResults:
+    """Execute ``queries`` under ``spec`` with fused per-walker kernels.
+
+    Bit-identical to :func:`repro.walks.batch.run_walks_batch` for any
+    ``(graph, spec, queries, seed, sampler)`` — the engines share state
+    preparation and the per-hop draw patterns.  Without numba this
+    delegates to the batch engine outright (after one warning), so the
+    guarantee holds trivially.
+    """
+    check_batch_spec(spec)
+    validate_sampler_mode(sampler)
+    if not NUMBA_AVAILABLE:
+        warn_numba_fallback()
+        return run_walks_batch(graph, spec, queries, seed=seed, stats=stats, sampler=sampler)
+    if len(queries) == 0:
+        return WalkResults()
+    kernel = make_walk_kernel(spec.make_sampler(), sampler)
+    kernel.prepare(graph)
+    state = jit_state_from_kernel(graph, spec, kernel)
+    return run_walks_jit_prepared(graph, spec, state, queries, seed=seed, stats=stats)

@@ -1,0 +1,20 @@
+"""RW106 clean fixture: kernels compile once, cache on disk."""
+import functools
+
+import numba
+from numba import njit
+
+
+@njit(cache=True)
+def cached_kernel(x):
+    return x + 1
+
+
+@numba.njit(cache=True, fastmath=False)
+def cached_dotted_kernel(x):
+    return x * 2
+
+
+@functools.lru_cache(maxsize=None)
+def not_a_numba_kernel(x):
+    return x - 1

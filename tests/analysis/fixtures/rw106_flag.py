@@ -1,0 +1,18 @@
+"""RW106 flagging fixture: njit kernels that recompile per process."""
+import numba
+from numba import njit
+
+
+@njit
+def bare_decorator_kernel(x):
+    return x + 1
+
+
+@njit(fastmath=False)
+def call_without_cache_kernel(x):
+    return x * 2
+
+
+@numba.njit(cache=False)
+def explicitly_uncached_kernel(x):
+    return x - 1

@@ -1,0 +1,8 @@
+"""RW106 suppressed fixture: deliberate no-cache compile, with reason."""
+from numba import njit
+
+
+# repro: allow[RW106] closure captures a per-run constant; the cache would never hit
+@njit(cache=False)
+def per_run_specialized_kernel(x):
+    return x + 1

@@ -2,13 +2,13 @@
 
 One parametrized test sweeps the full CLI algorithm list (``URW``,
 ``PPR``, ``DeepWalk``, ``Node2Vec``, ``Node2Vec-reservoir``, ``MetaPath``)
-across the ``reference``, ``batch`` and ``parallel`` engines, holding
-each cell to the strongest relation it supports:
+across the ``reference``, ``batch``, ``jit`` and ``parallel`` engines,
+holding each cell to the strongest relation it supports:
 
 * **Exact determinism** — every engine re-run at the same seed must be
-  bit-identical to itself, and ``parallel`` must be bit-identical to
-  ``batch`` (same kernels, same ``SeedSequence((seed, query_id))``
-  substreams).
+  bit-identical to itself, and ``jit`` and ``parallel`` must be
+  bit-identical to ``batch`` (same kernels, same
+  ``SeedSequence((seed, query_id))`` substreams).
 * **Chi-square agreement** — every engine's visit histogram must match
   the reference engine's under the shared two-sample oracle (the engines
   consume their substreams differently, so bit-equality across that
@@ -16,7 +16,7 @@ each cell to the strongest relation it supports:
 
 Every cell *runs*: a cell an engine cannot execute must be listed in
 ``XFAIL_CELLS`` with a tracking reason so the gap stays visible in test
-output instead of silently skipping.  (Today the map is empty — all 18
+output instead of silently skipping.  (Today the map is empty — all 24
 cells execute.)
 """
 
@@ -32,7 +32,7 @@ from repro.engines import SOFTWARE_ENGINES, run_software_walks
 from repro.graph import load_dataset
 from repro.graph.datasets import assign_metapath_schema
 
-#: The 18-cell matrix spins worker pools per cell: full CI lane only.
+#: The 24-cell matrix spins worker pools per cell: full CI lane only.
 pytestmark = pytest.mark.slow
 
 SOFTWARE_ENGINE_NAMES = tuple(sorted(SOFTWARE_ENGINES))
@@ -141,11 +141,23 @@ def test_parallel_bit_identical_to_batch(algorithm):
     assert batch.total_steps == parallel.total_steps
 
 
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_jit_bit_identical_to_batch(algorithm):
+    """The fused per-walker jit kernels replay the batch engine's exact
+    draw sequence: fusing the superstep loop must not move a vertex."""
+    batch = _run(algorithm, "batch", RUN_SEED)
+    jit = _run(algorithm, "jit", RUN_SEED)
+    assert batch.num_queries == jit.num_queries
+    for a, b in zip(batch.paths, jit.paths):
+        assert np.array_equal(a, b)
+    assert batch.total_steps == jit.total_steps
+
+
 def test_matrix_covers_every_cell():
     """The parametrization sweeps the full cross product — nobody can
     drop a cell without this inventory noticing."""
     cells = {(a, e) for a in ALGORITHMS for e in SOFTWARE_ENGINE_NAMES}
-    assert len(cells) == len(ALGORITHMS) * len(SOFTWARE_ENGINE_NAMES) == 18
+    assert len(cells) == len(ALGORITHMS) * len(SOFTWARE_ENGINE_NAMES) == 24
     params = {(algorithm, engine) for algorithm, engine, *_ in
               (p.values for p in _cell_params())}
     assert params == cells

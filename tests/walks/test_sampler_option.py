@@ -102,6 +102,17 @@ def test_valid_modes_run_on_every_engine():
         assert np.array_equal(pa, pb)
 
 
+def test_unknown_engine_error_names_every_choice():
+    """A typo'd engine name lists the full registry — including jit."""
+    graph = cycle_graph(4)
+    with pytest.raises(WalkConfigError, match="unknown software engine") as excinfo:
+        run_software_walks("turbo", graph, URWSpec(max_length=3),
+                           [Query(0, 0)], seed=1)
+    message = str(excinfo.value)
+    for engine in ("batch", "jit", "parallel", "reference"):
+        assert engine in message
+
+
 def test_misdirected_option_error_still_names_accepted_set():
     graph = cycle_graph(4)
     with pytest.raises(WalkConfigError, match="does not accept"):
