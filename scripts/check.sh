@@ -7,7 +7,10 @@
 # sharded parallel engine (2 workers, small graph) must produce
 # bit-identical results to the batch engine, the async walk service
 # must shed zero requests under nominal open-loop load while replaying
-# bit-identically offline, the dynamic subsystem must publish
+# bit-identically offline, the multi-tenant QoS layer must keep a
+# flash-crowding best-effort tenant from starving premium while the
+# epoch-keyed hot-walk cache stays bit-identical to replay across an
+# epoch swap, the dynamic subsystem must publish
 # snapshots bit-identical to from-scratch builds after a streamed
 # update trace, the hybrid auto sampler must stay bit-identical to
 # fixed-strategy kernels under forced selection maps, and the fused jit
@@ -62,6 +65,12 @@ python benchmarks/bench_parallel_engine.py --smoke
 echo
 echo "== serve smoke (zero drops at nominal load, bit-identical replay) =="
 python benchmarks/bench_serve.py --smoke
+
+echo
+echo "== serve QoS smoke (tenant isolation under flash crowd, epoch-safe cache) =="
+python benchmarks/bench_serve_qos.py --smoke
+python -m repro serve-bench --scenario flash-crowd --tenants 2 \
+  --requests 200 --rate 2000 --scale 0.05 --length 16 --max-batch 64
 
 echo
 echo "== dynamic smoke (update trace + snapshot-equivalence check) =="

@@ -33,6 +33,7 @@ from repro.graph.datasets import assign_metapath_schema
 from repro.parallel import WORKER_BACKENDS
 from repro.resources import DEVICE_CATALOG, get_device
 from repro.sampling.base import derive_seed, normalize_seed
+from repro.serve.workload import SCENARIOS
 from repro.sim import UtilizationTracer, render_dashboard
 from repro.walks import EngineStats, make_queries
 
@@ -146,6 +147,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=1)
     serve.add_argument("--scale", type=float, default=1.0,
                        help="dataset scale multiplier")
+    serve.add_argument("--tenants", type=int, default=0,
+                       help="declare N tenant admission classes (tenant 0 "
+                       "'premium' at weight 8, the rest best-effort at "
+                       "weight 1) and drive them concurrently; 0 (default) "
+                       "runs the single anonymous class")
+    serve.add_argument("--scenario", choices=SCENARIOS, default="steady",
+                       help="arrival/start shape for the last (stressor) "
+                       "tenant — or for the whole stream without --tenants; "
+                       "other tenants stay steady Poisson (default steady)")
+    serve.add_argument("--cache", action="store_true",
+                       help="attach a hot-walk cache and submit via the "
+                       "query-id-independent cached path; responses stay "
+                       "bit-identical to offline replay of the ids they carry")
 
     mutate = sub.add_parser(
         "mutate-bench",
@@ -317,9 +331,22 @@ def cmd_walk(args) -> int:
 
 def cmd_serve_bench(args) -> int:
     """Open-loop serving benchmark: one service, one arrival schedule."""
+    import asyncio
+
     import numpy as np
 
-    from repro.serve import ServeConfig, WalkService, serve_open_loop
+    from repro.serve import (
+        HotWalkCache,
+        ServeConfig,
+        TenantSpec,
+        TenantTrace,
+        WalkService,
+        hub_hammer_starts,
+        replay_paths,
+        run_tenant_traces,
+        scenario_gaps,
+        serve_open_loop,
+    )
 
     args.seed = normalize_seed(args.seed)
     if args.workers is not None and args.engine != "parallel":
@@ -327,6 +354,8 @@ def cmd_serve_bench(args) -> int:
             "--workers only applies to the parallel engine; drop it or use "
             "--engine parallel"
         )
+    if args.tenants < 0:
+        raise WalkConfigError(f"--tenants must be >= 0, got {args.tenants}")
     graph = _load_graph(args)
     spec = make_spec(args.algorithm)
     spec.max_length = args.length
@@ -341,27 +370,105 @@ def cmd_serve_bench(args) -> int:
 
     print(f"graph: {graph}")
     print(f"workload: {args.algorithm}, {args.requests} requests, "
-          f"length {args.length}, "
+          f"length {args.length}, scenario {args.scenario}, "
           + (f"Poisson {args.rate:,.0f} req/s" if args.rate > 0
              else "saturation arrivals"))
     print(f"service: engine={args.engine}, sampler={args.sampler}, "
           f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
-          f"depth={depth}")
+          f"depth={depth}"
+          + (f", tenants={args.tenants}" if args.tenants else "")
+          + (", cache" if args.cache else ""))
 
     engine_options = {"workers": args.workers} if args.engine == "parallel" else {}
     engine_options["sampler"] = args.sampler
-    report, service = serve_open_loop(
-        lambda: WalkService(graph, spec, engine=args.engine,
-                            seed=derive_seed(args.seed, "engine"), config=config,
-                            **engine_options),
-        starts,
-        rate_per_second=args.rate,
-        arrival_seed=derive_seed(args.seed, "arrivals"),
-    )
+    engine_seed = derive_seed(args.seed, "engine")
+
+    if not args.tenants and args.scenario == "steady" and not args.cache:
+        # The plain single-stream path, unchanged.
+        report, service = serve_open_loop(
+            lambda: WalkService(graph, spec, engine=args.engine,
+                                seed=engine_seed, config=config,
+                                **engine_options),
+            starts,
+            rate_per_second=args.rate,
+            arrival_seed=derive_seed(args.seed, "arrivals"),
+        )
+        print()
+        print(service.stats.summary())
+        if report.dropped:
+            print(f"shed request ids (first 10): {report.dropped[:10]}")
+        return 0
+
+    # Tenant / scenario / cache path: one trace per tenant class, driven
+    # concurrently; the last tenant is the stressor running --scenario.
+    tenant_specs = None
+    if args.tenants:
+        tenant_specs = [TenantSpec("premium", weight=8, queue_depth=depth)]
+        for i in range(1, args.tenants):
+            name = "besteffort" if args.tenants == 2 else f"besteffort-{i}"
+            tenant_specs.append(TenantSpec(name, weight=1, queue_depth=depth))
+    names = [s.name for s in tenant_specs] if tenant_specs else [None]
+    per_tenant = max(1, args.requests // len(names))
+    traces = []
+    for i, name in enumerate(names):
+        stressor = i == len(names) - 1
+        scenario = args.scenario if stressor else "steady"
+        tenant_starts = starts[i * per_tenant:(i + 1) * per_tenant]
+        if tenant_starts.size < per_tenant:
+            tenant_starts = starts[:per_tenant]
+        if scenario == "hub-hammer":
+            tenant_starts = hub_hammer_starts(
+                graph, per_tenant, seed=derive_seed(args.seed, "hubs", i)
+            )
+        gaps = scenario_gaps(scenario, per_tenant, args.rate,
+                             seed=derive_seed(args.seed, "arrivals", i))
+        traces.append(TenantTrace(name or "default", tenant_starts, gaps,
+                                  use_cache=args.cache))
+
+    async def _drive():
+        cache = HotWalkCache() if args.cache else None
+        service = WalkService(graph, spec, engine=args.engine,
+                              seed=engine_seed, config=config,
+                              tenants=tenant_specs, cache=cache,
+                              **engine_options)
+        async with service:
+            reports = await run_tenant_traces(service, traces)
+        return reports, service
+
+    reports, service = asyncio.run(_drive())
     print()
     print(service.stats.summary())
-    if report.dropped:
-        print(f"shed request ids (first 10): {report.dropped[:10]}")
+    for name, report in reports.items():
+        report.check_identity()
+        tenant_stats = service.tenant_stats.get(name)
+        line = (f"tenant {name}: {report.completed} completed, "
+                f"{len(report.dropped)} shed, {len(report.failed)} failed")
+        if tenant_stats is not None:
+            p99 = tenant_stats.latency_percentiles()["p99"]
+            if np.isfinite(p99):
+                line += f", p99 {p99 * 1e3:.2f}ms"
+        if report.cache_hits:
+            line += f", {len(report.cache_hits)} cache hits"
+        print(line)
+    if service.cache is not None:
+        print(f"cache: {service.cache.snapshot()}")
+    # Every completed path — cache hits included — must replay
+    # bit-identically offline; the CLI run is its own determinism check.
+    all_requests: dict[int, int] = {}
+    all_paths: dict[int, np.ndarray] = {}
+    for report in reports.values():
+        all_requests.update(report.requests)
+        all_paths.update(report.paths)
+    oracle = replay_paths(graph, spec, all_requests, seed=engine_seed,
+                          sampler=args.sampler)
+    mismatched = [qid for qid, path in all_paths.items()
+                  if not np.array_equal(path, oracle[qid])]
+    if mismatched:
+        print(f"error: {len(mismatched)} served paths diverge from offline "
+              f"replay (first ids: {sorted(mismatched)[:5]})", file=sys.stderr)
+        return 1
+    print(f"replay identity: {len(all_paths)} served paths bit-identical "
+          f"to offline replay")
     return 0
 
 

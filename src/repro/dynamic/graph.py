@@ -132,6 +132,10 @@ class DynamicGraph:
         self._delta_entries = 0
         self._epoch = 0
         self._published: GraphSnapshot | None = None
+        #: Callbacks invoked with each newly published GraphSnapshot
+        #: (epoch 0 included).  The serve layer's hot-walk cache hooks in
+        #: here to invalidate stale pools the moment an epoch exists.
+        self._epoch_listeners: list = []
         self.updates_applied = 0
         self.compactions = 0
         self.compaction_seconds = 0.0
@@ -337,6 +341,7 @@ class DynamicGraph:
                 sampler_state=SamplerState.full_build(self._base),
             )
             self._published = previous
+            self._notify_epoch(previous)
         if not self._dirty:
             return previous
         dirty_rows = {v: self._merged_row(v) for v in self._dirty}
@@ -350,7 +355,24 @@ class DynamicGraph:
         snapshot = GraphSnapshot(epoch=self._epoch, graph=graph, sampler_state=state)
         self._published = snapshot
         self._dirty.clear()
+        self._notify_epoch(snapshot)
         return snapshot
+
+    def add_epoch_listener(self, listener) -> None:
+        """Register ``listener(snapshot)`` for every published epoch.
+
+        Fires on each *new* publication (including the lazy epoch-0
+        build); re-returning a cached snapshot does not re-fire.  The
+        hot-walk cache's :meth:`repro.serve.cache.HotWalkCache.on_epoch`
+        is the canonical listener — attaching it here invalidates stale
+        pools at the write side, without waiting for the serve layer to
+        apply the swap.
+        """
+        self._epoch_listeners.append(listener)
+
+    def _notify_epoch(self, snapshot: GraphSnapshot) -> None:
+        for listener in self._epoch_listeners:
+            listener(snapshot)
 
     @property
     def needs_compaction(self) -> bool:

@@ -6,7 +6,11 @@ from repro.queueing.buffering import (
     minimum_depth_per_pipeline,
     minimum_total_depth,
 )
-from repro.queueing.mm1n import BulkServiceQueue, zero_bubble_condition
+from repro.queueing.mm1n import (
+    BulkServiceQueue,
+    weighted_capacity_split,
+    zero_bubble_condition,
+)
 from repro.queueing.validation import (
     DelayedFeedbackResult,
     depth_sweep,
@@ -22,5 +26,6 @@ __all__ = [
     "minimum_depth_per_pipeline",
     "minimum_total_depth",
     "simulate_delayed_feedback",
+    "weighted_capacity_split",
     "zero_bubble_condition",
 ]

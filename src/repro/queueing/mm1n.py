@@ -12,6 +12,7 @@ zero-bubble design reasons about; the companion module
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import SchedulerError
 
@@ -70,6 +71,32 @@ class BulkServiceQueue:
         if self.is_stable():
             return self.arrival_rate
         return self.batch_size * self.service_rate
+
+
+def weighted_capacity_split(
+    service_rate: float, weights: Sequence[float]
+) -> list[float]:
+    """Split one server's total service rate into per-class rates.
+
+    A weighted-priority bulk server (the multi-tenant micro-batcher of
+    :mod:`repro.serve.qos`) is, per class, an M/M/1[N] queue whose
+    long-run service rate is the class's weight share of the total: a
+    class with weight ``w_i`` out of ``sum(w)`` is dispatched ``w_i /
+    sum(w)`` of the slots whenever every class is backlogged, and at
+    least that often otherwise (idle classes donate their slots).  The
+    returned per-class rates are therefore *conservative* inputs for
+    :class:`BulkServiceQueue` stability checks and for
+    :func:`repro.serve.admission.recommended_queue_depth` — a class
+    stable on its share is stable in the shared system.
+    """
+    if service_rate <= 0:
+        raise SchedulerError("service_rate must be positive")
+    if not weights:
+        raise SchedulerError("weighted_capacity_split needs at least one class")
+    if any(w <= 0 for w in weights):
+        raise SchedulerError(f"class weights must be positive, got {list(weights)}")
+    total = float(sum(weights))
+    return [service_rate * float(w) / total for w in weights]
 
 
 def zero_bubble_condition(

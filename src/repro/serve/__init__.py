@@ -3,30 +3,63 @@
 ``WalkService`` coalesces individual walk requests into dynamic
 micro-batches and executes them on a prepared engine; admission control
 sheds past a queueing-model-sized high-water mark; ``ServeStats``
-records tail latency, batch shape, and sustained throughput.  The
-service is a scheduling layer only — per-request determinism
-(``SeedSequence((seed, query_id))``) survives any batching.
+records tail latency, batch shape, and sustained throughput.  On top of
+that, ``TenantSpec``/``TenantScheduler`` give the service per-tenant
+admission classes with weighted-priority dispatch (a flooding tenant
+sheds its own traffic, not its neighbors' SLOs), and ``HotWalkCache``
+serves repeated query-id-independent requests from epoch-keyed,
+pre-generated walk pools.  The service is a scheduling layer only —
+per-request determinism (``SeedSequence((seed, query_id))``) survives
+any batching, any tenant interleaving, and any cache hit.
 """
 
 from repro.serve.admission import AdmissionGate, recommended_queue_depth
+from repro.serve.cache import POOL_ID_BASE, HotWalkCache, ServedWalk
+from repro.serve.qos import (
+    DEFAULT_TENANT,
+    TenantScheduler,
+    TenantSpec,
+    size_tenant_depths,
+)
 from repro.serve.service import ServeConfig, WalkService, replay_paths
 from repro.serve.stats import ServeStats
 from repro.serve.workload import (
+    SCENARIOS,
     OpenLoopReport,
+    TenantTrace,
     arrival_gaps,
+    diurnal_gaps,
+    flash_crowd_gaps,
+    hub_hammer_starts,
     run_open_loop,
+    run_tenant_traces,
+    scenario_gaps,
     serve_open_loop,
 )
 
 __all__ = [
     "AdmissionGate",
+    "DEFAULT_TENANT",
+    "HotWalkCache",
     "OpenLoopReport",
+    "POOL_ID_BASE",
+    "SCENARIOS",
     "ServeConfig",
     "ServeStats",
+    "ServedWalk",
+    "TenantScheduler",
+    "TenantSpec",
+    "TenantTrace",
     "WalkService",
     "arrival_gaps",
+    "diurnal_gaps",
+    "flash_crowd_gaps",
+    "hub_hammer_starts",
     "recommended_queue_depth",
     "replay_paths",
     "run_open_loop",
+    "run_tenant_traces",
+    "scenario_gaps",
     "serve_open_loop",
+    "size_tenant_depths",
 ]

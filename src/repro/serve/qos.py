@@ -1,0 +1,236 @@
+"""Multi-tenant QoS: per-tenant admission classes and weighted dispatch.
+
+The plain service treats all traffic as one anonymous stream behind one
+admission gate — which means one flooding client spends everyone else's
+queue depth and latency budget.  Real walk services (ThunderRW's
+application mix: repeated PPR / DeepWalk queries from many products)
+carry *classes* of traffic with different rates and different SLOs, so
+this module gives :class:`~repro.serve.service.WalkService` tenancy:
+
+* **Per-tenant admission.**  Every :class:`TenantSpec` owns its own
+  :class:`~repro.serve.admission.AdmissionGate`, sized from its
+  *declared* arrival rate against its *weight share* of service
+  capacity (:func:`size_tenant_depths`, built on the same M/M/1[N]
+  bulk-service model as the global gate).  A tenant that floods fills
+  its own gate and sheds its own traffic; other tenants' gates —
+  and therefore their latency SLOs — are untouched.
+
+* **Weighted-priority dispatch.**  :class:`TenantScheduler` buffers
+  admitted requests per tenant and composes each micro-batch by smooth
+  weighted round-robin over the backlogged tenants: a tenant with
+  weight 8 gets 8 batch slots for every 1 a weight-1 tenant gets while
+  both are backlogged, and idle tenants donate their slots.  The pick
+  sequence is deterministic (no RNG, fixed construction-order
+  tie-break), so batch composition — like everything else in the serve
+  layer — is reproducible.
+
+QoS is *scheduling, never semantics*: tenancy decides when a request
+runs and whether it is shed, but a served request's paths are still
+``SeedSequence((seed, query_id))``-determined and bit-identical to the
+offline replay oracle regardless of tenant interleaving.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+from repro.queueing.mm1n import weighted_capacity_split
+from repro.serve.admission import (
+    MIN_DEPTH_BATCHES,
+    AdmissionGate,
+    recommended_queue_depth,
+)
+
+#: Tenant name used when a service is built without explicit tenants
+#: (and the one `try_submit` assumes when no tenant is given).
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One admission class of a multi-tenant service.
+
+    ``weight``
+        Dispatch priority share: while several tenants are backlogged,
+        batch slots are split proportionally to weight.
+    ``rate_per_second``
+        The tenant's *declared* arrival rate, used to size its gate via
+        :func:`size_tenant_depths` (0 = undeclared: the gate falls back
+        to the minimum bulk-service depth or an explicit ``queue_depth``).
+    ``queue_depth``
+        Explicit admission high-water for this tenant; overrides sizing.
+    """
+
+    name: str
+    weight: int = 1
+    rate_per_second: float = 0.0
+    queue_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServeError("tenant name must be non-empty")
+        if self.weight < 1:
+            raise ServeError(
+                f"tenant {self.name!r} weight must be >= 1, got {self.weight}"
+            )
+        if self.rate_per_second < 0:
+            raise ServeError(
+                f"tenant {self.name!r} rate_per_second must be >= 0, "
+                f"got {self.rate_per_second}"
+            )
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ServeError(
+                f"tenant {self.name!r} queue_depth must be >= 1, "
+                f"got {self.queue_depth}"
+            )
+
+
+def size_tenant_depths(
+    specs: list[TenantSpec] | tuple[TenantSpec, ...],
+    service_rate: float,
+    max_batch: int,
+    safety: float = 4.0,
+) -> dict[str, int]:
+    """Admission high-water per tenant from declared rates and weights.
+
+    Each tenant's share of service capacity is its weight fraction
+    (:func:`repro.queueing.mm1n.weighted_capacity_split`); its depth is
+    then the M/M/1[N] recommendation for its declared rate against that
+    share.  Tenants without a declared rate get the model's minimum
+    (``MIN_DEPTH_BATCHES`` full batches); explicit ``queue_depth``
+    overrides win unconditionally.  A tenant whose declared rate exceeds
+    its capacity share is unstable *by declaration* and rejected loudly —
+    admission control cannot bound its latency, only shed it.
+    """
+    shares = weighted_capacity_split(service_rate, [s.weight for s in specs])
+    depths: dict[str, int] = {}
+    for spec, share in zip(specs, shares):
+        if spec.queue_depth is not None:
+            depths[spec.name] = spec.queue_depth
+        elif spec.rate_per_second > 0:
+            depths[spec.name] = recommended_queue_depth(
+                arrival_rate=spec.rate_per_second,
+                service_rate=share / max_batch,
+                max_batch=max_batch,
+                safety=safety,
+            )
+        else:
+            depths[spec.name] = MIN_DEPTH_BATCHES * max_batch
+    return depths
+
+
+class TenantScheduler:
+    """Per-tenant admission gates plus weighted-priority batch composition.
+
+    The service's dispatch loop pushes admitted requests (and cache pool
+    fills) here instead of batching them FIFO; :meth:`next_batch` then
+    composes each micro-batch by smooth weighted round-robin.  Like
+    :class:`AdmissionGate`, all state is plain single-threaded (asyncio)
+    bookkeeping.
+
+    Smooth weighted round-robin: each pick adds every backlogged
+    tenant's weight to its credit, selects the highest credit (first
+    declared wins ties), and charges the winner the total backlogged
+    weight.  Over any window where a set of tenants stays backlogged,
+    picks converge to the weight proportions, and the interleaving is
+    smooth (a weight-5 tenant is not served 5-in-a-row).
+    """
+
+    def __init__(self, specs: list[TenantSpec] | tuple[TenantSpec, ...],
+                 default_depth: int) -> None:
+        if not specs:
+            raise ServeError("TenantScheduler needs at least one tenant")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ServeError(f"duplicate tenant names in {names}")
+        self._specs = {spec.name: spec for spec in specs}
+        self._order = names
+        self._queues: dict[str, deque] = {name: deque() for name in names}
+        self._gates = {
+            spec.name: AdmissionGate(spec.queue_depth or default_depth)
+            for spec in specs
+        }
+        self._credit = {name: 0 for name in names}
+        self._fills: deque = deque()
+        self._pending_clients = 0
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        return tuple(self._order)
+
+    @property
+    def pending_clients(self) -> int:
+        """Client requests buffered and not yet composed into a batch."""
+        return self._pending_clients
+
+    def has_work(self) -> bool:
+        return self._pending_clients > 0 or bool(self._fills)
+
+    def gate(self, tenant: str) -> AdmissionGate:
+        try:
+            return self._gates[tenant]
+        except KeyError:
+            raise ServeError(
+                f"unknown tenant {tenant!r}; this service declares "
+                f"{self._order}"
+            ) from None
+
+    def admit(self, tenant: str) -> None:
+        """Count one request into ``tenant``'s gate (sheds past its depth)."""
+        self.gate(tenant).admit()
+
+    def release(self, tenant: str, count: int = 1) -> None:
+        self.gate(tenant).release(count)
+
+    def total_depth(self) -> int:
+        return sum(gate.high_water for gate in self._gates.values())
+
+    def push(self, item) -> None:
+        """Buffer one dispatchable item (request or pool fill)."""
+        tenant = getattr(item, "tenant", None)
+        if tenant is None:
+            self._fills.append(item)
+        else:
+            self._queues[tenant].append(item)
+            self._pending_clients += 1
+
+    def _pick(self) -> str:
+        backlogged = [name for name in self._order if self._queues[name]]
+        total = sum(self._specs[name].weight for name in backlogged)
+        best = backlogged[0]
+        for name in backlogged:
+            self._credit[name] += self._specs[name].weight
+            if self._credit[name] > self._credit[best]:
+                best = name
+        self._credit[best] -= total
+        return best
+
+    def next_batch(self, max_batch: int) -> list:
+        """Compose one micro-batch: weighted client picks plus one fill.
+
+        Up to ``max_batch`` client requests by weighted round-robin
+        (FIFO within each tenant), then at most one pending cache pool
+        fill appended whole — fills are atomic (a pool's entries must
+        all come from one engine run on one epoch) and gate-exempt, so
+        they ride along without displacing client slots.
+        """
+        batch: list = []
+        while self._pending_clients and len(batch) < max_batch:
+            batch.append(self._queues[self._pick()].popleft())
+            self._pending_clients -= 1
+        if self._fills:
+            batch.append(self._fills.popleft())
+        return batch
+
+    def drain_all(self) -> list:
+        """Remove and return everything buffered (dispatcher teardown)."""
+        items: list = []
+        for name in self._order:
+            items.extend(self._queues[name])
+            self._queues[name].clear()
+        items.extend(self._fills)
+        self._fills.clear()
+        self._pending_clients = 0
+        return items

@@ -13,22 +13,35 @@ the software analogue of RidgeWalker's perfectly pipelined ingest: the
 engine never waits for the batcher, the batcher never waits for the
 engine.
 
+On top of that, the service is (optionally) **multi-tenant**: each
+:class:`~repro.serve.qos.TenantSpec` gets its own admission gate and a
+weighted-priority share of every micro-batch
+(:class:`~repro.serve.qos.TenantScheduler`), so a flooding tenant sheds
+its own traffic instead of starving other tenants' latency SLOs.  And it
+(optionally) serves repeated query-id-independent requests from an
+epoch-safe **hot-walk cache** (:class:`~repro.serve.cache.HotWalkCache`):
+pools of engine-generated walks under reserved query ids, keyed by
+``(epoch, start_vertex)`` and invalidated at epoch boundaries.
+
 The service is a scheduling layer, never a semantics layer.  Every
 request's randomness is keyed by ``SeedSequence((seed, query_id))`` —
 the engines' own per-query substream derivation — so a request's paths
 are bit-identical whether it was served alone, inside a micro-batch of
-64, or replayed offline through ``run_walks_batch`` with the same seed.
-Batch composition, flush timing, and engine choice (among the
-bit-compatible ``batch``/``parallel`` pair) cannot change a single
-vertex; ``tests/serve/`` holds the service to that.
+64, from a cache pool, or replayed offline through ``run_walks_batch``
+with the same seed.  Batch composition, flush timing, tenant
+interleaving, and engine choice (among the bit-compatible
+``batch``/``parallel`` pair) cannot change a single vertex;
+``tests/serve/`` holds the service to that.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
+from typing import Sequence
 
 import numpy as np
 
@@ -37,6 +50,8 @@ from repro.errors import GraphError, ServeError, ServeOverloadError
 from repro.graph.csr import CSRGraph
 from repro.sampling.base import normalize_seed
 from repro.serve.admission import AdmissionGate
+from repro.serve.cache import POOL_ID_BASE, HotWalkCache, ServedWalk
+from repro.serve.qos import DEFAULT_TENANT, TenantScheduler, TenantSpec
 from repro.serve.stats import ServeStats
 from repro.walks.base import Query, WalkResults, WalkSpec
 from repro.walks.reference import EngineStats
@@ -55,7 +70,10 @@ class ServeConfig:
         Admission high-water: requests outstanding (queued, coalescing,
         or executing) beyond which new arrivals are shed with
         ``ServeOverloadError``.  Size it with
-        :func:`repro.serve.admission.recommended_queue_depth`.
+        :func:`repro.serve.admission.recommended_queue_depth`.  With
+        tenants declared, this is the *per-tenant default* for specs
+        without their own ``queue_depth``; the global occupancy bound
+        becomes the sum of tenant depths.
     ``max_inflight``
         Micro-batches allowed to execute concurrently.  1 (the default)
         already pipelines — batch N+1 coalesces while batch N executes;
@@ -85,6 +103,25 @@ class _PendingRequest:
     query: Query
     future: asyncio.Future
     submitted_at: float
+    tenant: str = DEFAULT_TENANT
+    #: Query-id-independent submissions resolve with a
+    #: :class:`~repro.serve.cache.ServedWalk` instead of ``WalkResults``.
+    cacheable: bool = False
+
+
+@dataclass
+class _PoolFill:
+    """Gate-exempt cache pool generation riding the dispatch queue.
+
+    Carries the reserved-id queries of one pool; executed by the same
+    prepared engine as client batches (appended to one, or dispatched
+    alone), and installed into the cache keyed by the epoch it actually
+    ran on.  No future, no admission accounting — a fill the service
+    drops on teardown is only a lost warm-up.
+    """
+
+    start_vertex: int
+    queries: list[Query] = field(default_factory=list)
 
 
 @dataclass
@@ -126,6 +163,14 @@ class WalkService:
     :func:`repro.engines.prepare_engine`, or an already-constructed
     :class:`~repro.engines.PreparedEngine`; either way the service owns
     it and closes it on :meth:`stop`.
+
+    ``tenants`` declares the admission classes of a multi-tenant
+    service (see :mod:`repro.serve.qos`); requests then carry a
+    ``tenant=`` name and per-tenant ledgers appear in
+    :attr:`tenant_stats`.  Without it the service runs one anonymous
+    class, exactly as before.  ``cache`` attaches a
+    :class:`~repro.serve.cache.HotWalkCache` consulted by
+    :meth:`try_submit_cached`.
     """
 
     def __init__(
@@ -135,6 +180,8 @@ class WalkService:
         engine: str | PreparedEngine = "batch",
         seed: int = 0,
         config: ServeConfig | None = None,
+        tenants: Sequence[TenantSpec] | None = None,
+        cache: HotWalkCache | None = None,
         **engine_options,
     ) -> None:
         self._config = config or ServeConfig()
@@ -168,8 +215,16 @@ class WalkService:
         self._applied_num_vertices = graph.num_vertices
         self.stats = ServeStats()
         self.engine_stats = EngineStats()
-        self._gate = AdmissionGate(self._config.queue_depth)
-        self._queue: asyncio.Queue[_PendingRequest] | None = None
+        specs = tuple(tenants) if tenants else (TenantSpec(DEFAULT_TENANT),)
+        self._scheduler = TenantScheduler(specs, self._config.queue_depth)
+        #: Per-tenant ledgers; populated only for explicitly declared
+        #: tenants (an anonymous service keeps one global ledger).
+        self.tenant_stats: dict[str, ServeStats] = (
+            {spec.name: ServeStats() for spec in specs} if tenants else {}
+        )
+        self._gate = AdmissionGate(self._scheduler.total_depth())
+        self.cache = cache
+        self._queue: asyncio.Queue | None = None
         self._dispatcher: asyncio.Task | None = None
         self._inflight: asyncio.Semaphore | None = None
         self._drained: asyncio.Event | None = None
@@ -178,6 +233,11 @@ class WalkService:
         self._next_query_id = 0
         self._accepting = False
         self._epoch = self._initial_epoch
+        #: Swaps queued but not yet applied.  While non-zero, cache
+        #: lookups are suspended: a request admitted now executes on an
+        #: epoch whose pools do not exist yet, and hotness counts taken
+        #: against the dying epoch would only build doomed pools.
+        self._swaps_queued = 0
 
     @property
     def config(self) -> ServeConfig:
@@ -202,6 +262,26 @@ class WalkService:
     def epoch(self) -> int:
         """Version id of the graph new requests are served against."""
         return self._epoch
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        """Declared admission classes (a single default when anonymous)."""
+        return self._scheduler.tenant_names
+
+    def reserve_query_ids(self, minimum: int) -> None:
+        """Advance the auto-id counter to at least ``minimum``.
+
+        Callers that mix explicit query-id ranges with auto-assigned ids
+        on one service (the multi-tenant trace driver) use this to keep
+        the ranges disjoint — duplicate ids would mean duplicate
+        randomness and a colliding replay map.
+        """
+        if minimum >= POOL_ID_BASE:
+            raise ServeError(
+                f"query ids >= {POOL_ID_BASE} are reserved for hot-walk "
+                f"cache pools, got {minimum}"
+            )
+        self._next_query_id = max(self._next_query_id, minimum)
 
     async def start(self) -> None:
         """Bring up the dispatcher; idempotent while running."""
@@ -246,13 +326,16 @@ class WalkService:
         for task in list(self._batch_tasks):
             await task
         # Drain leftovers.  Requests only remain on a no-drain stop (the
-        # drained event guarantees none otherwise); epoch swaps can remain
-        # on any stop — they never count against the admission gate, so
-        # draining does not wait for them.  Either way, fail the futures
-        # so no caller hangs.
-        abandoned = 0
+        # drained event guarantees none otherwise); epoch swaps and cache
+        # pool fills can remain on any stop — neither counts against the
+        # admission gate, so draining does not wait for them.  Either
+        # way, fail the request/swap futures so no caller hangs; fills
+        # have no futures and are simply discarded.
+        abandoned: Counter[str] = Counter()
         while not self._queue.empty():
             item = self._queue.get_nowait()
+            if isinstance(item, _PoolFill):
+                continue
             if not item.future.done():
                 item.future.set_exception(
                     ServeError(
@@ -262,9 +345,11 @@ class WalkService:
                     )
                 )
             if not isinstance(item, _EpochSwap):
-                abandoned += 1
+                abandoned[item.tenant] += 1
         if abandoned:
-            self._gate.release(abandoned)
+            for tenant, count in abandoned.items():
+                self._scheduler.release(tenant, count)
+            self._gate.release(sum(abandoned.values()))
             if self._gate.occupancy == 0:
                 self._drained.set()
         assert self._executor is not None
@@ -281,51 +366,155 @@ class WalkService:
     async def __aexit__(self, *exc) -> None:
         await self.stop()
 
-    def try_submit(
-        self, start_vertex: int, query_id: int | None = None
-    ) -> asyncio.Future:
-        """Admit one walk request; return the future of its results.
+    def _resolve_tenant(self, tenant: str | None) -> str:
+        if tenant is None:
+            names = self._scheduler.tenant_names
+            if len(names) == 1:
+                return names[0]
+            raise ServeError(
+                f"this service declares tenants {list(names)}; pass tenant="
+            )
+        self._scheduler.gate(tenant)  # raises ServeError on unknown names
+        return tenant
 
-        Sheds with :class:`~repro.errors.ServeOverloadError` past the
-        admission high-water (the error carries the observed occupancy).
-        ``query_id`` defaults to a monotonically assigned id; pass one
-        explicitly to make the request replayable offline by
-        ``(service seed, query_id)``.
-        """
-        if not self._accepting or self._queue is None:
-            raise ServeError("service is not running; use 'async with' or start()")
-        if query_id is None:
-            query_id = self._next_query_id
-        # Validate before admitting: a request that can only fail must be
-        # rejected here, at its own call site, not discovered mid-batch
-        # where the engine error would poison co-batched requests.
-        query = Query(query_id, start_vertex)
+    def _admit(self, tenant: str, start_vertex: int) -> None:
+        """Validate and count one request into both gate layers."""
         if start_vertex >= self._num_vertices:
             raise GraphError(
                 f"vertex {start_vertex} out of range for graph with "
                 f"{self._num_vertices} vertices"
             )
         try:
-            self._gate.admit()
+            self._scheduler.admit(tenant)
         except ServeOverloadError:
             self.stats.record_drop()
+            tenant_stats = self.tenant_stats.get(tenant)
+            if tenant_stats is not None:
+                tenant_stats.record_drop()
             raise
+        # The global gate's high-water is the sum of tenant depths, so a
+        # request its tenant admitted always fits here too.
+        self._gate.admit()
+
+    def _enqueue(self, request: _PendingRequest) -> None:
+        assert self._drained is not None and self._queue is not None
+        self._drained.clear()
+        self.stats.record_submit(request.submitted_at)
+        tenant_stats = self.tenant_stats.get(request.tenant)
+        if tenant_stats is not None:
+            tenant_stats.record_submit(request.submitted_at)
+        self._queue.put_nowait(request)
+
+    def try_submit(
+        self, start_vertex: int, query_id: int | None = None,
+        tenant: str | None = None,
+    ) -> asyncio.Future:
+        """Admit one walk request; return the future of its results.
+
+        Sheds with :class:`~repro.errors.ServeOverloadError` past the
+        tenant's admission high-water (the error carries the observed
+        occupancy).  ``query_id`` defaults to a monotonically assigned
+        id; pass one explicitly to make the request replayable offline
+        by ``(service seed, query_id)``.  ``tenant`` selects the
+        admission class on a multi-tenant service (mandatory there,
+        ignored-by-default on an anonymous one).
+        """
+        if not self._accepting or self._queue is None:
+            raise ServeError("service is not running; use 'async with' or start()")
+        tenant = self._resolve_tenant(tenant)
+        if query_id is None:
+            query_id = self._next_query_id
+        elif query_id >= POOL_ID_BASE:
+            raise ServeError(
+                f"query ids >= {POOL_ID_BASE} are reserved for hot-walk "
+                f"cache pools, got {query_id}"
+            )
+        # Validate before admitting: a request that can only fail must be
+        # rejected here, at its own call site, not discovered mid-batch
+        # where the engine error would poison co-batched requests.
+        query = Query(query_id, start_vertex)
+        self._admit(tenant, start_vertex)
         # Only advance the auto-id counter for admitted requests, and keep
         # it ahead of explicit ids so mixed usage cannot collide.
         self._next_query_id = max(self._next_query_id, query_id + 1)
-        assert self._drained is not None
-        self._drained.clear()
         now = asyncio.get_running_loop().time()
-        self.stats.record_submit(now)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait(_PendingRequest(query, future, now))
+        self._enqueue(_PendingRequest(query, future, now, tenant=tenant))
         return future
 
     async def submit(
-        self, start_vertex: int, query_id: int | None = None
+        self, start_vertex: int, query_id: int | None = None,
+        tenant: str | None = None,
     ) -> WalkResults:
         """Admit one request and await its :class:`WalkResults` slice."""
-        return await self.try_submit(start_vertex, query_id=query_id)
+        return await self.try_submit(start_vertex, query_id=query_id,
+                                     tenant=tenant)
+
+    def try_submit_cached(
+        self, start_vertex: int, tenant: str | None = None
+    ) -> asyncio.Future:
+        """Admit one *query-id-independent* request; may serve from cache.
+
+        The caller asks for "a fresh walk from ``start_vertex``" and
+        lets the service pick the query id; the future resolves with a
+        :class:`~repro.serve.cache.ServedWalk` carrying the id that
+        actually keyed the walk's randomness — a cache-pool reserved id
+        on a hit, a service-assigned id on a miss — plus the epoch it
+        executed on, so every response replays bit-identically offline.
+        Hits resolve immediately, bypass admission (no engine work), and
+        count as completions; misses ride the normal admission /
+        batching / QoS path and feed the cache's hotness counters.
+        """
+        if not self._accepting or self._queue is None:
+            raise ServeError("service is not running; use 'async with' or start()")
+        tenant = self._resolve_tenant(tenant)
+        loop = asyncio.get_running_loop()
+        # Construct (and thereby validate) up front: a bad vertex must be
+        # rejected before it can touch cache counters or gate occupancy.
+        # On a hit the query is simply discarded — its id stays unspent.
+        query = Query(self._next_query_id, start_vertex)
+        if start_vertex >= self._num_vertices:
+            raise GraphError(
+                f"vertex {start_vertex} out of range for graph with "
+                f"{self._num_vertices} vertices"
+            )
+        # Lookups only against a settled epoch: with a swap queued, this
+        # request will execute on a version whose pools cannot exist yet.
+        if self.cache is not None and self._swaps_queued == 0:
+            entry = self.cache.take(self._epoch, start_vertex)
+            if entry is not None:
+                pool_id, path = entry
+                now = loop.time()
+                self.stats.record_submit(now)
+                self.stats.record_completion(0.0, now, cache_hit=True)
+                tenant_stats = self.tenant_stats.get(tenant)
+                if tenant_stats is not None:
+                    tenant_stats.record_submit(now)
+                    tenant_stats.record_completion(0.0, now, cache_hit=True)
+                future: asyncio.Future = loop.create_future()
+                future.set_result(
+                    ServedWalk(pool_id, path, self._epoch, cache_hit=True)
+                )
+                return future
+            fill_queries = self.cache.note_miss(self._epoch, start_vertex)
+            if fill_queries is not None:
+                # Gate-exempt: pool generation is the service's own work,
+                # queued *now* so it lands on the epoch that is hot.
+                self._queue.put_nowait(_PoolFill(start_vertex, fill_queries))
+        self._admit(tenant, start_vertex)
+        self._next_query_id += 1
+        now = loop.time()
+        future = loop.create_future()
+        self._enqueue(
+            _PendingRequest(query, future, now, tenant=tenant, cacheable=True)
+        )
+        return future
+
+    async def submit_cached(
+        self, start_vertex: int, tenant: str | None = None
+    ) -> ServedWalk:
+        """Awaitable twin of :meth:`try_submit_cached`."""
+        return await self.try_submit_cached(start_vertex, tenant=tenant)
 
     def try_update_graph(self, snapshot) -> asyncio.Future:
         """Queue a graph swap *now*; returns the future of its epoch id.
@@ -339,6 +528,7 @@ class WalkService:
             raise ServeError("service is not running; use 'async with' or start()")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._queue.put_nowait(_EpochSwap(snapshot, future))
+        self._swaps_queued += 1
         # Requests admitted from this point on will execute after the
         # swap, so admission validation must use the new graph's bounds
         # immediately — not when the swap drains the queue.
@@ -359,6 +549,9 @@ class WalkService:
         after it executes on the new one.  Micro-batches never span the
         boundary.  Per-epoch determinism survives: a request's paths
         replay bit-identically offline against its epoch's graph.
+        Hot-walk cache pools from older epochs are invalidated the
+        moment the swap applies (and are unreachable even before that —
+        pools are keyed by epoch).
 
         The engine swap itself preserves long-lived resources (the
         parallel engine's worker pool survives; see
@@ -384,6 +577,7 @@ class WalkService:
                 self._executor, partial(self._runner.swap_snapshot, swap.snapshot)
             )
         except asyncio.CancelledError:
+            self._swaps_queued -= 1
             if not swap.future.done():
                 swap.future.set_exception(
                     ServeError("service stopped before the graph swap executed")
@@ -393,13 +587,17 @@ class WalkService:
             # The service keeps serving the old graph; roll admission
             # validation back to it (try_update_graph advanced the bound
             # optimistically at enqueue time).
+            self._swaps_queued -= 1
             self._num_vertices = self._applied_num_vertices
             if not swap.future.done():
                 swap.future.set_exception(exc)
         else:
+            self._swaps_queued -= 1
             graph = getattr(swap.snapshot, "graph", swap.snapshot)
             self._applied_num_vertices = graph.num_vertices
             self._epoch = getattr(swap.snapshot, "epoch", self._epoch + 1)
+            if self.cache is not None:
+                self.cache.drop_stale(self._epoch)
             if not swap.future.done():
                 swap.future.set_result(self._epoch)
         finally:
@@ -411,94 +609,186 @@ class WalkService:
 
         Flush policy: the batch opens when its first request arrives and
         closes at ``max_batch`` requests or ``max_wait_ms`` later,
-        whichever comes first.  The hand-off acquires the inflight
-        semaphore, so with ``max_inflight=1`` the loop collects batch
-        N+1 while batch N executes — coalescing rides in the engine's
-        shadow instead of adding latency to it.  An :class:`_EpochSwap`
-        in the stream closes the open batch early (batches never span an
-        epoch boundary) and is applied once the batch is handed off.
+        whichever comes first.  Ingested requests are buffered in the
+        tenant scheduler and each batch is *composed* by weighted
+        round-robin over the backlogged tenants (FIFO order with a
+        single tenant), with at most one cache pool fill appended.  The
+        hand-off acquires the inflight semaphore, so with
+        ``max_inflight=1`` the loop collects batch N+1 while batch N
+        executes — coalescing rides in the engine's shadow instead of
+        adding latency to it.  An :class:`_EpochSwap` in the stream
+        closes the open batch early and *barriers*: ingest stops at the
+        swap until every request admitted before it has been dispatched
+        (batches never span an epoch boundary), then the swap applies.
         """
         assert self._queue is not None and self._inflight is not None
         loop = asyncio.get_running_loop()
         max_wait = self._config.max_wait_ms / 1e3
-        while True:
-            first = await self._queue.get()
-            if isinstance(first, _EpochSwap):
-                await self._apply_swap(first)
-                continue
-            batch = [first]
-            pending_swap: _EpochSwap | None = None
-            try:
-                deadline = loop.time() + max_wait
-                while len(batch) < self._config.max_batch:
-                    # Fast path: drain everything already queued without
-                    # touching the event loop.  A timed wait costs tens of
-                    # microseconds (timer + wakeup per call); under a
-                    # burst that overhead would eat the coalescing window
-                    # and flush chronically under-filled batches.
-                    try:
-                        item = self._queue.get_nowait()
-                    except asyncio.QueueEmpty:
-                        remaining = deadline - loop.time()
-                        if remaining <= 0:
-                            break
-                        try:
-                            item = await asyncio.wait_for(
-                                self._queue.get(), remaining
-                            )
-                        except asyncio.TimeoutError:
-                            break
+        scheduler = self._scheduler
+        pending_swap: _EpochSwap | None = None
+        try:
+            while True:
+                if not scheduler.has_work() and pending_swap is None:
+                    item = await self._queue.get()
                     if isinstance(item, _EpochSwap):
                         pending_swap = item
-                        break
-                    batch.append(item)
-                await self._inflight.acquire()
-            except asyncio.CancelledError:
-                # Cancelled mid-coalesce (a no-drain stop): hand the
-                # partial batch back to the queue so stop() can fail its
-                # futures instead of leaving callers hanging.
-                for request in batch:
-                    self._queue.put_nowait(request)
-                if pending_swap is not None:
-                    self._queue.put_nowait(pending_swap)
-                raise
-            task = asyncio.create_task(self._execute(batch))
-            self._batch_tasks.add(task)
-            task.add_done_callback(self._batch_tasks.discard)
+                    else:
+                        scheduler.push(item)
+                if pending_swap is None and (
+                    0 < scheduler.pending_clients < self._config.max_batch
+                ):
+                    # Coalescing window: opened by the first buffered
+                    # request, closed by max_batch or the deadline.
+                    deadline = loop.time() + max_wait
+                    while scheduler.pending_clients < self._config.max_batch:
+                        # Fast path: drain everything already queued
+                        # without touching the event loop.  A timed wait
+                        # costs tens of microseconds (timer + wakeup per
+                        # call); under a burst that overhead would eat
+                        # the coalescing window and flush chronically
+                        # under-filled batches.
+                        try:
+                            item = self._queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            remaining = deadline - loop.time()
+                            if remaining <= 0:
+                                break
+                            try:
+                                item = await asyncio.wait_for(
+                                    self._queue.get(), remaining
+                                )
+                            except asyncio.TimeoutError:
+                                break
+                        if isinstance(item, _EpochSwap):
+                            pending_swap = item
+                            break
+                        scheduler.push(item)
+                elif pending_swap is None:
+                    # Nothing to coalesce for (full buffer or fills
+                    # only): just pick up whatever is already queued.
+                    while True:
+                        try:
+                            item = self._queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        if isinstance(item, _EpochSwap):
+                            pending_swap = item
+                            break
+                        scheduler.push(item)
+                if scheduler.has_work():
+                    # Acquire *before* composing: a cancellation while
+                    # waiting for the permit leaves every request safely
+                    # buffered for the teardown requeue below.
+                    await self._inflight.acquire()
+                    batch = scheduler.next_batch(self._config.max_batch)
+                    task = asyncio.create_task(self._execute(batch))
+                    self._batch_tasks.add(task)
+                    task.add_done_callback(self._batch_tasks.discard)
+                if pending_swap is not None and not scheduler.has_work():
+                    # Barrier reached: everything admitted before the
+                    # swap has been handed off; _apply_swap's permit
+                    # sweep orders it after their execution too.
+                    await self._apply_swap(pending_swap)
+                    pending_swap = None
+        except asyncio.CancelledError:
+            # Cancelled (a no-drain stop): hand buffered requests and any
+            # pending swap back to the queue so stop() can fail their
+            # futures instead of leaving callers hanging.
+            for item in scheduler.drain_all():
+                self._queue.put_nowait(item)
             if pending_swap is not None:
-                await self._apply_swap(pending_swap)
+                self._queue.put_nowait(pending_swap)
+            raise
 
-    async def _execute(self, batch: list[_PendingRequest]) -> None:
-        """Run one micro-batch on the engine and resolve its futures."""
+    def _record_failure(self, request: _PendingRequest, now: float) -> None:
+        self.stats.record_failure(now)
+        tenant_stats = self.tenant_stats.get(request.tenant)
+        if tenant_stats is not None:
+            tenant_stats.record_failure(now)
+
+    async def _execute(self, batch: list) -> None:
+        """Run one micro-batch on the engine and resolve its futures.
+
+        ``batch`` holds client :class:`_PendingRequest`\\ s (clients
+        first) and at most one :class:`_PoolFill`.  Every admitted
+        request leaves through exactly one ledger bucket — completed on
+        success, failed when the engine raises — so the accounting
+        identity ``offered == completed + dropped + failed`` survives
+        engine failures too.
+        """
         assert self._inflight is not None and self._drained is not None
+        # Stable while we hold an inflight permit: swaps sweep every
+        # permit before touching the engine, so the epoch cannot move
+        # under an executing batch.
+        epoch = self._epoch
         loop = asyncio.get_running_loop()
-        queries = [request.query for request in batch]
+        clients = [item for item in batch if isinstance(item, _PendingRequest)]
+        fills = [item for item in batch if isinstance(item, _PoolFill)]
+        queries = [request.query for request in clients]
+        for fill in fills:
+            queries.extend(fill.queries)
         batch_stats = EngineStats()
         started = loop.time()
+        failure: Exception | None = None
         try:
             results = await loop.run_in_executor(
                 self._executor,
                 partial(self._runner.run, queries, seed=self._seed, stats=batch_stats),
             )
         except Exception as exc:
-            for request in batch:
-                if not request.future.done():
-                    request.future.set_exception(exc)
-            return
-        finally:
-            now = loop.time()
-            self._inflight.release()
+            failure = exc
+        now = loop.time()
+        self._inflight.release()
+        _merge_engine_stats(self.engine_stats, batch_stats)
+        if clients:
+            # Pure-fill dispatches stay out of the batch-shape ledger:
+            # the histogram and mean describe client-serving batches.
             self.stats.record_batch(
-                len(batch), batch_stats.total_hops, now - started
+                len(clients), batch_stats.total_hops, now - started
             )
-            _merge_engine_stats(self.engine_stats, batch_stats)
-            self._gate.release(len(batch))
+            released: Counter[str] = Counter(request.tenant for request in clients)
+            for tenant, count in released.items():
+                self._scheduler.release(tenant, count)
+            self._gate.release(len(clients))
             if self._gate.occupancy == 0:
                 self._drained.set()
-        for position, request in enumerate(batch):
+        if failure is not None:
+            for request in clients:
+                if not request.future.done():
+                    request.future.set_exception(failure)
+                self._record_failure(request, now)
+            if self.cache is not None:
+                for fill in fills:
+                    self.cache.fill_aborted(fill.start_vertex)
+            return
+        for position, request in enumerate(clients):
             if not request.future.done():
-                request.future.set_result(results.subset([position]))
-            self.stats.record_completion(now - request.submitted_at, now)
+                if request.cacheable:
+                    path = results.path_of(position)
+                    if path.base is not None:
+                        path = path.copy()
+                    request.future.set_result(
+                        ServedWalk(request.query.query_id, path, epoch,
+                                   cache_hit=False)
+                    )
+                else:
+                    request.future.set_result(results.subset([position]))
+            latency = now - request.submitted_at
+            self.stats.record_completion(latency, now)
+            tenant_stats = self.tenant_stats.get(request.tenant)
+            if tenant_stats is not None:
+                tenant_stats.record_completion(latency, now)
+        if fills and self.cache is not None:
+            position = len(clients)
+            for fill in fills:
+                entries = []
+                for query in fill.queries:
+                    path = results.path_of(position)
+                    position += 1
+                    if path.base is not None:
+                        path = path.copy()
+                    entries.append((query.query_id, path))
+                self.cache.install(epoch, fill.start_vertex, entries)
 
 
 def replay_paths(
@@ -514,7 +804,10 @@ def replay_paths(
     the service seed, in one closed batch.  A correct service returns
     exactly these paths regardless of how its micro-batching happened to
     slice the request stream — the determinism contract the serve tests
-    and the CI smoke assert.  ``sampler`` defaults to ``"auto"``, the
+    and the CI smoke assert.  This covers cache-served walks too: a
+    :class:`~repro.serve.cache.ServedWalk`'s ``query_id`` (a reserved
+    pool id on hits) replayed against its ``epoch``'s graph reproduces
+    its path bit-for-bit.  ``sampler`` defaults to ``"auto"``, the
     service's own default; replaying a service pinned to
     ``sampler="default"`` must pass the same.
     """

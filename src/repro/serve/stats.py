@@ -9,6 +9,15 @@ sustained hop throughput between the first arrival and the last
 completion.  Engine-side counters (proposals, neighbor reads,
 termination causes) stay in :class:`~repro.walks.EngineStats`; this
 module only covers what the *service* adds on top of the engine.
+
+Every admitted request ends in exactly one of three buckets —
+``completed``, ``failed`` (its micro-batch raised), or, for requests
+never admitted, ``dropped`` (shed at the gate) — so the **accounting
+identity** ``offered == completed + dropped + failed`` holds on every
+drained service and every scenario report; ``tests/serve/`` and the QoS
+benchmark assert it.  A multi-tenant service keeps one ``ServeStats``
+per tenant (plus the global one), so per-class SLOs are measured from
+the same ledger shape.
 """
 
 from __future__ import annotations
@@ -31,8 +40,15 @@ class ServeStats:
     seconds.
     """
 
+    #: Requests admitted past the gate (includes later failures).
+    submitted: int = 0
     completed: int = 0
     dropped: int = 0
+    #: Admitted requests whose micro-batch raised; they resolve with the
+    #: engine's exception and land here instead of ``completed``.
+    failed: int = 0
+    #: Requests served from the hot-walk cache (subset of ``completed``).
+    cache_hits: int = 0
     total_hops: int = 0
     #: Wall-clock engine time summed over micro-batches (busy time).
     busy_seconds: float = 0.0
@@ -43,8 +59,14 @@ class ServeStats:
     first_submit: float | None = None
     last_completion: float | None = None
 
+    @property
+    def offered(self) -> int:
+        """Every request the service saw: admitted plus shed."""
+        return self.submitted + self.dropped
+
     def record_submit(self, now: float) -> None:
         """Note an admitted request's arrival time."""
+        self.submitted += 1
         if self.first_submit is None or now < self.first_submit:
             self.first_submit = now
 
@@ -58,10 +80,24 @@ class ServeStats:
         self.total_hops += int(hops)
         self.busy_seconds += float(service_seconds)
 
-    def record_completion(self, latency: float, now: float) -> None:
+    def record_completion(self, latency: float, now: float,
+                          cache_hit: bool = False) -> None:
         """Note one resolved request."""
         self.completed += 1
+        if cache_hit:
+            self.cache_hits += 1
         self.latencies.append(float(latency))
+        if self.last_completion is None or now > self.last_completion:
+            self.last_completion = now
+
+    def record_failure(self, now: float) -> None:
+        """Note one admitted request resolved with its batch's exception.
+
+        Failures close the request (the accounting identity counts them
+        next to completions) but contribute no latency sample — the
+        percentiles describe successful service only.
+        """
+        self.failed += 1
         if self.last_completion is None or now > self.last_completion:
             self.last_completion = now
 
@@ -89,6 +125,9 @@ class ServeStats:
         This is the open-system throughput the acceptance criterion
         compares against the closed-batch engine: it charges the service
         for queueing and batching gaps, not just engine busy time.
+        Degenerate windows (one request resolving in the same clock
+        reading it arrived) yield ``inf``; presentation layers render
+        that as "n/a" rather than a number.
         """
         if self.first_submit is None or self.last_completion is None:
             return 0.0
@@ -96,11 +135,20 @@ class ServeStats:
         return self.total_hops / elapsed if elapsed > 0 else float("inf")
 
     def snapshot(self) -> dict:
-        """JSON-ready summary (the shape ``BENCH_serve.json`` embeds)."""
+        """JSON-ready summary (the shape ``BENCH_serve.json`` embeds).
+
+        Non-finite rates become ``None`` — a zero-elapsed window's
+        ``inf`` must not crash the snapshot (``round(inf)`` raises
+        ``OverflowError``) nor leak a non-JSON value into the record.
+        """
         percentiles = self.latency_percentiles()
+        sustained = self.sustained_hops_per_second()
         return {
+            "offered": self.offered,
             "completed": self.completed,
             "dropped": self.dropped,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
             "total_hops": self.total_hops,
             "latency_ms": {
                 key: round(value * 1e3, 3) if np.isfinite(value) else None
@@ -112,7 +160,9 @@ class ServeStats:
             "mean_batch_size": (
                 round(self.mean_batch_size(), 2) if self.batch_sizes else None
             ),
-            "sustained_hops_per_sec": round(self.sustained_hops_per_second()),
+            "sustained_hops_per_sec": (
+                round(sustained) if np.isfinite(sustained) else None
+            ),
             "busy_seconds": round(self.busy_seconds, 4),
         }
 
@@ -125,10 +175,20 @@ class ServeStats:
         )
         histogram = self.batch_size_histogram()
         shape = ", ".join(f"{size}x{count}" for size, count in histogram.items())
+        sustained = self.sustained_hops_per_second()
+        sustained_text = (
+            f"{sustained:,.0f} hops/s sustained" if np.isfinite(sustained)
+            else "hops/s n/a"
+        )
+        extras = ""
+        if self.failed:
+            extras += f", {self.failed} failed"
+        if self.cache_hits:
+            extras += f", {self.cache_hits} cache hits"
         return (
-            f"served {self.completed} requests ({self.dropped} shed), "
+            f"served {self.completed} requests ({self.dropped} shed{extras}), "
             f"{self.total_hops} hops, "
-            f"{self.sustained_hops_per_second():,.0f} hops/s sustained\n"
+            f"{sustained_text}\n"
             f"latency: {latency}\n"
             f"micro-batches: {len(self.batch_sizes)} dispatched, "
             f"mean size {self.mean_batch_size():.1f} [size x count: {shape}]"

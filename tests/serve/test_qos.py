@@ -1,0 +1,303 @@
+"""Multi-tenant QoS: admission classes, weighted dispatch, isolation.
+
+The contracts under test: each tenant sheds at its *own* gate (a
+flooding tenant cannot spend another tenant's depth), micro-batches are
+composed by smooth weighted round-robin (deterministic, proportional to
+weights while backlogged), depth sizing follows the M/M/1[N] model
+against weight shares, and tenancy never touches walk semantics —
+per-request paths stay bit-identical to the offline replay oracle under
+any tenant interleaving.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError, ServeError, ServeOverloadError
+from repro.graph import powerlaw
+from repro.queueing import weighted_capacity_split
+from repro.serve import (
+    DEFAULT_TENANT,
+    ServeConfig,
+    TenantScheduler,
+    TenantSpec,
+    WalkService,
+    replay_paths,
+    size_tenant_depths,
+)
+from repro.serve.admission import MIN_DEPTH_BATCHES
+from repro.walks import URWSpec
+
+
+def make_graph():
+    return powerlaw(num_vertices=60, num_edges=240, seed=1, name="qos-test")
+
+
+def drive(coro):
+    return asyncio.run(coro)
+
+
+class FakeItem:
+    """Scheduler item stub: a tenant tag (or None for a pool fill)."""
+
+    def __init__(self, tenant=None, label=None):
+        if tenant is not None:
+            self.tenant = tenant
+        self.label = label
+
+
+class TestWeightedCapacitySplit:
+    def test_splits_proportionally(self):
+        assert weighted_capacity_split(90.0, [8, 1]) == [80.0, 10.0]
+
+    def test_single_class_gets_everything(self):
+        assert weighted_capacity_split(42.0, [3]) == [42.0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SchedulerError):
+            weighted_capacity_split(0.0, [1])
+        with pytest.raises(SchedulerError):
+            weighted_capacity_split(10.0, [])
+        with pytest.raises(SchedulerError):
+            weighted_capacity_split(10.0, [2, 0])
+
+
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            TenantSpec("")
+        with pytest.raises(ServeError):
+            TenantSpec("a", weight=0)
+        with pytest.raises(ServeError):
+            TenantSpec("a", rate_per_second=-1.0)
+        with pytest.raises(ServeError):
+            TenantSpec("a", queue_depth=0)
+
+
+class TestSizeTenantDepths:
+    def test_explicit_depth_wins(self):
+        specs = (TenantSpec("a", queue_depth=7), TenantSpec("b"))
+        depths = size_tenant_depths(specs, service_rate=100.0, max_batch=4)
+        assert depths["a"] == 7
+        assert depths["b"] == MIN_DEPTH_BATCHES * 4
+
+    def test_declared_rate_uses_model(self):
+        # One tenant at half its share: the model returns a finite depth
+        # at least the minimum, and deeper for a hotter tenant.
+        cool = size_tenant_depths(
+            (TenantSpec("a", weight=1, rate_per_second=10.0),),
+            service_rate=100.0, max_batch=4)["a"]
+        hot = size_tenant_depths(
+            (TenantSpec("a", weight=1, rate_per_second=90.0),),
+            service_rate=100.0, max_batch=4)["a"]
+        assert cool >= MIN_DEPTH_BATCHES * 4
+        assert hot > cool
+
+    def test_rate_beyond_share_rejected(self):
+        # 10% weight share of 100/s = 10/s capacity; declaring 50/s is
+        # unstable by declaration.
+        specs = (TenantSpec("hog", weight=1, rate_per_second=50.0),
+                 TenantSpec("big", weight=9))
+        with pytest.raises(ServeError):
+            size_tenant_depths(specs, service_rate=100.0, max_batch=4)
+
+
+class TestTenantScheduler:
+    def test_rejects_empty_and_duplicate(self):
+        with pytest.raises(ServeError):
+            TenantScheduler((), default_depth=4)
+        with pytest.raises(ServeError):
+            TenantScheduler((TenantSpec("a"), TenantSpec("a")), default_depth=4)
+
+    def test_unknown_tenant_named_in_error(self):
+        scheduler = TenantScheduler((TenantSpec("a"),), default_depth=4)
+        with pytest.raises(ServeError, match="unknown tenant 'z'"):
+            scheduler.admit("z")
+
+    def test_per_tenant_gates_and_total_depth(self):
+        scheduler = TenantScheduler(
+            (TenantSpec("a", queue_depth=2), TenantSpec("b", queue_depth=3)),
+            default_depth=99)
+        assert scheduler.total_depth() == 5
+        scheduler.admit("a")
+        scheduler.admit("a")
+        with pytest.raises(ServeOverloadError):
+            scheduler.admit("a")
+        # b's gate is untouched by a's overflow.
+        scheduler.admit("b")
+        scheduler.release("a", 2)
+        scheduler.admit("a")
+
+    def test_single_tenant_is_fifo(self):
+        scheduler = TenantScheduler((TenantSpec(DEFAULT_TENANT),),
+                                    default_depth=8)
+        items = [FakeItem(DEFAULT_TENANT, label=i) for i in range(5)]
+        for item in items:
+            scheduler.push(item)
+        batch = scheduler.next_batch(3)
+        assert [i.label for i in batch] == [0, 1, 2]
+        assert scheduler.pending_clients == 2
+
+    def test_weighted_composition_is_proportional_and_smooth(self):
+        scheduler = TenantScheduler(
+            (TenantSpec("big", weight=3), TenantSpec("small", weight=1)),
+            default_depth=64)
+        for i in range(16):
+            scheduler.push(FakeItem("big", label=f"b{i}"))
+            scheduler.push(FakeItem("small", label=f"s{i}"))
+        batch = scheduler.next_batch(8)
+        tenants = [item.tenant for item in batch]
+        assert tenants.count("big") == 6 and tenants.count("small") == 2
+        # Smooth: the weight-3 tenant is interleaved, not served 6-in-a-row.
+        assert tenants != ["big"] * 6 + ["small"] * 2
+
+    def test_composition_is_deterministic(self):
+        def compose():
+            scheduler = TenantScheduler(
+                (TenantSpec("x", weight=2), TenantSpec("y", weight=5)),
+                default_depth=64)
+            for i in range(20):
+                scheduler.push(FakeItem("x", label=f"x{i}"))
+                scheduler.push(FakeItem("y", label=f"y{i}"))
+            return [item.label for item in scheduler.next_batch(14)]
+
+        assert compose() == compose()
+
+    def test_idle_tenant_donates_slots(self):
+        scheduler = TenantScheduler(
+            (TenantSpec("a", weight=1), TenantSpec("b", weight=1)),
+            default_depth=64)
+        for i in range(4):
+            scheduler.push(FakeItem("a", label=i))
+        assert [i.label for i in scheduler.next_batch(8)] == [0, 1, 2, 3]
+
+    def test_fills_ride_along_one_per_batch(self):
+        scheduler = TenantScheduler((TenantSpec("a"),), default_depth=8)
+        scheduler.push(FakeItem("a", label="client"))
+        scheduler.push(FakeItem(label="fill-1"))
+        scheduler.push(FakeItem(label="fill-2"))
+        batch = scheduler.next_batch(4)
+        assert [getattr(i, "label") for i in batch] == ["client", "fill-1"]
+        assert scheduler.has_work()
+        assert [i.label for i in scheduler.next_batch(4)] == ["fill-2"]
+        assert not scheduler.has_work()
+
+    def test_drain_all_empties_everything(self):
+        scheduler = TenantScheduler(
+            (TenantSpec("a"), TenantSpec("b")), default_depth=8)
+        scheduler.push(FakeItem("a"))
+        scheduler.push(FakeItem("b"))
+        scheduler.push(FakeItem())
+        assert len(scheduler.drain_all()) == 3
+        assert not scheduler.has_work()
+        assert scheduler.pending_clients == 0
+
+
+class TestServiceTenancy:
+    def test_anonymous_service_keeps_old_behavior(self):
+        graph = make_graph()
+
+        async def scenario():
+            async with WalkService(graph, URWSpec(max_length=5),
+                                   seed=3) as service:
+                assert service.tenant_names == (DEFAULT_TENANT,)
+                result = await service.submit(0, query_id=0)
+                assert service.tenant_stats == {}
+                return result.path_of(0)
+
+        path = drive(scenario())
+        oracle = replay_paths(make_graph(), URWSpec(max_length=5), {0: 0}, seed=3)
+        assert np.array_equal(path, oracle[0])
+
+    def test_multi_tenant_requires_tenant_argument(self):
+        graph = make_graph()
+
+        async def scenario():
+            tenants = (TenantSpec("a"), TenantSpec("b"))
+            async with WalkService(graph, URWSpec(max_length=5),
+                                   tenants=tenants) as service:
+                with pytest.raises(ServeError, match="pass tenant="):
+                    service.try_submit(0)
+                with pytest.raises(ServeError, match="unknown tenant"):
+                    service.try_submit(0, tenant="nope")
+
+        drive(scenario())
+
+    def test_flooding_tenant_sheds_alone(self):
+        """A tenant that fills its gate sheds its own traffic; the other
+        tenant keeps admitting — the admission half of isolation."""
+        graph = make_graph()
+
+        async def scenario():
+            tenants = (TenantSpec("premium", weight=8, queue_depth=64),
+                       TenantSpec("besteffort", weight=1, queue_depth=4))
+            config = ServeConfig(max_batch=8, max_wait_ms=50.0, queue_depth=16)
+            async with WalkService(graph, URWSpec(max_length=5), seed=5,
+                                   tenants=tenants, config=config) as service:
+                flood, shed = [], 0
+                for _ in range(32):
+                    try:
+                        flood.append(service.try_submit(1, tenant="besteffort"))
+                    except ServeOverloadError:
+                        shed += 1
+                assert shed > 0
+                # Premium admits fine while best-effort is saturated.
+                premium = [service.try_submit(2, tenant="premium")
+                           for _ in range(32)]
+                await asyncio.gather(*flood, *premium)
+                stats = service.tenant_stats
+                assert stats["besteffort"].dropped == shed
+                assert stats["premium"].dropped == 0
+                assert stats["premium"].offered == 32
+                for ledger in stats.values():
+                    assert ledger.offered == (ledger.completed + ledger.dropped
+                                              + ledger.failed)
+
+        drive(scenario())
+
+    def test_tenant_interleaving_preserves_determinism(self):
+        """Paths are keyed by (seed, query_id) only: two tenants
+        interleaved under weighted dispatch replay bit-identically."""
+        graph = make_graph()
+        spec = URWSpec(max_length=8)
+
+        async def scenario():
+            tenants = (TenantSpec("a", weight=4), TenantSpec("b", weight=1))
+            config = ServeConfig(max_batch=4, max_wait_ms=1.0, queue_depth=256)
+            async with WalkService(graph, spec, seed=11, tenants=tenants,
+                                   config=config) as service:
+                futures = {}
+                for i in range(40):
+                    tenant = "a" if i % 2 == 0 else "b"
+                    futures[i] = service.try_submit(i % 60, query_id=i,
+                                                    tenant=tenant)
+                results = {}
+                for qid, future in futures.items():
+                    results[qid] = (await future).path_of(0)
+                return results
+
+        served = drive(scenario())
+        oracle = replay_paths(make_graph(), URWSpec(max_length=8),
+                              {i: i % 60 for i in range(40)}, seed=11)
+        for qid, path in served.items():
+            assert np.array_equal(path, oracle[qid]), f"query {qid} diverged"
+
+    def test_global_occupancy_spans_tenants(self):
+        graph = make_graph()
+
+        async def scenario():
+            tenants = (TenantSpec("a", queue_depth=3),
+                       TenantSpec("b", queue_depth=2))
+            config = ServeConfig(max_batch=8, max_wait_ms=50.0, queue_depth=1)
+            async with WalkService(graph, URWSpec(max_length=3),
+                                   tenants=tenants, config=config) as service:
+                # Global high-water is the sum of tenant depths, not the
+                # anonymous config depth.
+                futures = [service.try_submit(0, tenant="a") for _ in range(3)]
+                futures += [service.try_submit(0, tenant="b") for _ in range(2)]
+                assert service.occupancy == 5
+                await asyncio.gather(*futures)
+                assert service.occupancy == 0
+
+        drive(scenario())

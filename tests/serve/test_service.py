@@ -285,3 +285,133 @@ class TestStats:
                    in service.stats.batch_size_histogram().items()) == 12
         assert len(service.stats.latencies) == 12
         assert service.stats.snapshot()["sustained_hops_per_sec"] > 0
+
+
+class TestStatsRegressions:
+    def test_zero_elapsed_snapshot_does_not_overflow(self):
+        """Regression: a degenerate window (submit and completion at the
+        same clock reading) makes sustained hops/s infinite, and
+        round(inf) used to raise OverflowError out of snapshot()."""
+        stats = ServeStats()
+        stats.record_submit(5.0)
+        stats.record_batch(1, hops=10, service_seconds=0.0)
+        stats.record_completion(0.0, now=5.0)
+        assert stats.sustained_hops_per_second() == float("inf")
+        snapshot = stats.snapshot()  # must not raise
+        assert snapshot["sustained_hops_per_sec"] is None
+        assert "n/a" in stats.summary()
+
+    def test_failure_bucket_and_accounting_identity(self):
+        stats = ServeStats()
+        for _ in range(5):
+            stats.record_submit(1.0)
+        stats.record_drop()
+        for _ in range(3):
+            stats.record_completion(0.01, now=2.0)
+        for _ in range(2):
+            stats.record_failure(now=2.0)
+        assert stats.offered == 6
+        assert stats.offered == stats.completed + stats.dropped + stats.failed
+        # Failures contribute no latency sample: percentiles describe
+        # successful service only.
+        assert len(stats.latencies) == 3
+        assert stats.snapshot()["failed"] == 2
+        assert "2 failed" in stats.summary()
+
+
+class TestFailureAccounting:
+    def test_engine_failure_lands_in_failed_not_limbo(self):
+        """Satellite regression: _execute's exception path used to
+        resolve the futures but never record the requests anywhere, so
+        offered != completed + dropped + failed on any failed batch."""
+        engine = SlowEngine(fail=True)
+        graph = make_graph()
+
+        async def scenario():
+            config = ServeConfig(max_batch=4, max_wait_ms=1.0, queue_depth=64)
+            async with WalkService(graph, URWSpec(max_length=5), engine=engine,
+                                   config=config) as service:
+                futures = [service.try_submit(v) for v in range(4)]
+                for future in futures:
+                    with pytest.raises(ReproError):
+                        await future
+                engine.fail = False
+                await service.submit(1)
+                stats = service.stats
+                assert stats.failed == 4
+                assert stats.completed == 1
+                assert stats.offered == (stats.completed + stats.dropped
+                                         + stats.failed)
+                # Failed requests left the gate: the service drained.
+                assert service.occupancy == 0
+
+        drive(scenario())
+
+
+class TestStopMidCoalesce:
+    def test_abandoned_futures_fail_and_service_restarts(self):
+        """stop(drain=False) while requests sit mid-coalesce: every
+        abandoned future gets ServeError, occupancy returns to 0, and a
+        subsequent start() serves cleanly on the same service object."""
+        engine = SlowEngine()
+        graph = make_graph()
+
+        async def scenario():
+            config = ServeConfig(max_batch=1000, max_wait_ms=10_000.0,
+                                 queue_depth=64)
+            service = WalkService(graph, URWSpec(max_length=5), engine=engine,
+                                  config=config)
+            await service.start()
+            # max_batch and max_wait are both unreachable: these requests
+            # are parked in the coalescing window when stop() lands.
+            futures = [service.try_submit(v) for v in range(6)]
+            await asyncio.sleep(0.01)
+            assert engine.batches == []  # nothing flushed yet
+            await service.stop(drain=False)
+            for future in futures:
+                assert future.done()
+                with pytest.raises(ServeError, match="stopped before"):
+                    await future
+            assert service.occupancy == 0
+
+            # The same object restarts and serves.
+            await service.start()
+            results = await asyncio.wait_for(service.submit(2, query_id=0),
+                                             timeout=30.0)
+            assert results.path_of(0)[0] == 2
+            await service.stop()
+            assert service.occupancy == 0
+
+        drive(scenario())
+
+    def test_stop_discards_pending_pool_fills_quietly(self):
+        """A queued cache pool fill has no future and no gate slot: a
+        no-drain stop must discard it without hanging or miscounting."""
+        from repro.serve import HotWalkCache
+
+        engine = SlowEngine(delay_seconds=0.05)
+        graph = make_graph()
+        cache = HotWalkCache(pool_size=4, hot_threshold=1)
+
+        async def scenario():
+            config = ServeConfig(max_batch=2, max_wait_ms=50.0, queue_depth=64)
+            service = WalkService(graph, URWSpec(max_length=5), engine=engine,
+                                  config=config, cache=cache)
+            await service.start()
+            # The miss triggers a fill; the slow first batch keeps the
+            # fill queued when stop() lands.
+            first = service.try_submit_cached(0)
+            await asyncio.sleep(0.01)
+            extra = [service.try_submit_cached(0) for _ in range(3)]
+            await service.stop(drain=False)
+            outcomes = 0
+            for future in (first, *extra):
+                try:
+                    await future
+                except ServeError:
+                    pass
+                outcomes += 1
+            assert outcomes == 4
+            assert service.occupancy == 0
+
+        drive(scenario())
