@@ -141,6 +141,9 @@ def main(argv=None) -> int:
             "mean_snapshot_ms": round(report.mean_snapshot_seconds * 1e3, 3),
             "compactions": report.compactions,
             "compaction_seconds": round(report.compaction_seconds, 4),
+            "updates_applied": report.updates_applied,
+            "delta_edges": report.delta_edges,
+            "delta_peak": report.delta_peak,
             "mean_full_rebuild_ms": round(
                 report.mean_full_rebuild_seconds * 1e3, 3),
             "maintenance_speedup": round(report.maintenance_speedup, 2),

@@ -13,7 +13,11 @@
 # epoch swap, the dynamic subsystem must publish
 # snapshots bit-identical to from-scratch builds after a streamed
 # update trace, the hybrid auto sampler must stay bit-identical to
-# fixed-strategy kernels under forced selection maps, and the fused jit
+# fixed-strategy kernels under forced selection maps, the observability
+# layer must keep instrumented-but-disabled throughput at baseline
+# (gated on full runs; the smoke asserts traced runs stay bit-identical
+# to untraced) while a traced CLI run exports sample trace + metrics
+# artifacts, and the fused jit
 # kernels must stay bit-identical to the batch engine (compiled where
 # numba is installed, interpreted through the same code path where it
 # is not) plus run end-to-end from the CLI.  (The machine-readable
@@ -79,6 +83,15 @@ python benchmarks/bench_dynamic.py --smoke
 echo
 echo "== hybrid smoke (auto vs fixed strategies, conformance + throughput) =="
 python benchmarks/bench_hybrid.py --smoke
+
+echo
+echo "== observability smoke (disabled-overhead gate + traced CLI artifacts) =="
+python benchmarks/bench_obs_overhead.py --smoke
+python -m repro trace --out benchmarks/sample_trace.jsonl --format jsonl -- \
+  serve-bench --scenario flash-crowd --tenants 2 --cache \
+  --requests 200 --rate 2000 --scale 0.05 --length 16 --max-batch 64
+python -m repro metrics --out benchmarks/sample_metrics.prom -- \
+  walk --engine batch --queries 200 --length 20 --scale 0.05
 
 echo
 echo "== jit smoke (fused kernels bit-identical to batch + CLI end-to-end) =="

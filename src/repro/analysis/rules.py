@@ -11,6 +11,7 @@ RW103     ``SharedMemory(create=True)`` without guaranteed unlink
 RW104     blocking calls inside ``async def`` bodies
 RW105     ``set`` iteration feeding ordered outputs
 RW106     ``@njit`` kernels compiled without ``cache=True``
+RW107     ``time.time()`` differences measuring durations
 ========  ==========================================================
 
 All checks are heuristic AST pattern matches — they see names, not
@@ -513,6 +514,89 @@ class NumbaCacheRule(Rule):
                 f"bare @njit on {function.name!r} cannot cache its "
                 f"compile: {self._advice}",
             )
+
+
+def _time_time_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names that mean ``time.time`` in this module.
+
+    Returns ``(dotted, bare)``: dotted call names from ``import time``
+    (including ``import time as t`` -> ``t.time``) and bare names from
+    ``from time import time`` (including ``as`` aliases).
+    """
+    dotted: set[str] = set()
+    bare: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    dotted.add(f"{alias.asname or alias.name}.time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    bare.add(alias.asname or alias.name)
+    return dotted, bare
+
+
+@register_rule
+class WallClockDurationRule(Rule):
+    id = "RW107"
+    name = "wall-clock-duration"
+    description = (
+        "Subtracting time.time() readings measures the wall clock, which "
+        "NTP can step or slew mid-interval — durations come out wrong or "
+        "negative, and telemetry (spans, latency ledgers, benchmark "
+        "gates) built on them lies. Measure durations with "
+        "time.perf_counter() or time.monotonic(); time.time() is only "
+        "for timestamps of record."
+    )
+
+    _advice = (
+        "use time.perf_counter() (or time.monotonic()) for durations; "
+        "time.time() is wall-clock and not monotonic"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        dotted, bare = _time_time_names(context.tree)
+        if not dotted and not bare:
+            return
+        # File-level aggregation of names bound to time.time() readings
+        # by simple assignment — coarse (ignores scopes), but a name like
+        # `started = time.time()` being subtracted anywhere in the file
+        # is exactly the pattern this rule exists to catch.
+        tracked: set[str] = set()
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and self._is_time_call(node.value, dotted, bare)
+            ):
+                tracked.add(node.targets[0].id)
+        for node in ast.walk(context.tree):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub)):
+                continue
+            operands = (node.left, node.right)
+            if any(self._is_time_call(op, dotted, bare) for op in operands):
+                yield self.finding(
+                    context, node,
+                    f"time.time() difference measures a duration: {self._advice}",
+                )
+            elif all(
+                isinstance(op, ast.Name) and op.id in tracked for op in operands
+            ):
+                yield self.finding(
+                    context, node,
+                    f"difference of wall-clock readings "
+                    f"({ast.unparse(node.left)} - {ast.unparse(node.right)}) "
+                    f"measures a duration: {self._advice}",
+                )
+
+    @staticmethod
+    def _is_time_call(node: ast.AST, dotted: set[str], bare: set[str]) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = _call_name(node)
+        return name is not None and (name in dotted or name in bare)
 
 
 @register_rule

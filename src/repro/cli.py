@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the workflows a downstream user reaches for first:
+Eight commands cover the workflows a downstream user reaches for first:
 
 * ``walk`` — run a GRW workload on the simulated accelerator and print
   throughput/utilization (optionally from a graph file);
@@ -9,6 +9,11 @@ Six commands cover the workflows a downstream user reaches for first:
 * ``mutate-bench`` — stream an update trace into a dynamic graph and
   print incremental-maintenance throughput, compaction cost, and
   walk-throughput retention vs a static rebuild;
+* ``trace`` — run one of the three commands above with span tracing
+  enabled and export the recorded spans as Perfetto-loadable Chrome
+  ``trace_event`` JSON or a JSONL event log (``repro.obs``);
+* ``metrics`` — run one of the three commands above and export the
+  metrics it fed into the global registry as Prometheus text;
 * ``lint`` — statically check the determinism & resource-safety
   invariants (seeded streams, shared-memory lifecycles, non-blocking
   serve path, ordered outputs) over a source tree; the CI gate;
@@ -57,6 +62,11 @@ ENGINE_ONLY_WALK_OPTIONS = (
     ("--workers", "workers", None, "parallel"),
     ("--backend", "backend", None, "parallel"),
 )
+
+#: Commands the ``trace`` / ``metrics`` observability wrappers can run.
+#: They re-dispatch through :func:`build_parser`, so the wrapped command
+#: accepts exactly its normal flags.
+WRAPPABLE_COMMANDS = ("walk", "serve-bench", "mutate-bench")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,6 +202,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fold deltas into a fresh CSR base once they "
                         "exceed this fraction of base edges")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a command with span tracing enabled and export the trace",
+        description="Enable the repro.obs span tracer around one wrapped "
+        "command (walk, serve-bench or mutate-bench), then export the "
+        "recorded spans as Perfetto-loadable Chrome trace_event JSON "
+        "(load the file at https://ui.perfetto.dev or chrome://tracing) "
+        "or as a JSONL event log with metric totals appended.  Tracing "
+        "is off everywhere else (pay for what you use), and a traced "
+        "run's walk paths are bit-identical to an untraced run's.",
+    )
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default trace.json)")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome", dest="trace_format",
+                       help="chrome = trace_event JSON for Perfetto; "
+                       "jsonl = one JSON record per span plus metric "
+                       "totals (default chrome)")
+    trace.add_argument("--capacity", type=int, default=None,
+                       help="span ring-buffer capacity (default 65536); "
+                       "on overflow the oldest spans are dropped and the "
+                       "drop count reported")
+    trace.add_argument("wrapped", choices=WRAPPABLE_COMMANDS,
+                       metavar="command",
+                       help=f"command to run traced: "
+                       f"{', '.join(WRAPPABLE_COMMANDS)}")
+    trace.add_argument("rest", nargs=argparse.REMAINDER, metavar="args",
+                       help="arguments forwarded to the wrapped command")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a command and export its metrics as Prometheus text",
+        description="Reset the global repro.obs metrics registry, run one "
+        "wrapped command (walk, serve-bench or mutate-bench), and export "
+        "every counter, gauge and histogram the run fed — engine hop and "
+        "termination counters, per-tenant serve ledgers, cache and "
+        "dynamic-graph accounting — in Prometheus text exposition format.",
+    )
+    metrics.add_argument("--out", default=None,
+                         help="output path (default: print to stdout)")
+    metrics.add_argument("wrapped", choices=WRAPPABLE_COMMANDS,
+                         metavar="command",
+                         help=f"command to run: "
+                         f"{', '.join(WRAPPABLE_COMMANDS)}")
+    metrics.add_argument("rest", nargs=argparse.REMAINDER, metavar="args",
+                         help="arguments forwarded to the wrapped command")
+
     lint = sub.add_parser(
         "lint",
         help="statically check determinism & resource-safety invariants",
@@ -199,7 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
         "determinism contract (README.md): SeedSequence-rooted RNG streams "
         "(RW101/RW102), shared-memory segment lifecycles (RW103), a "
         "non-blocking asyncio serve path (RW104), no set-ordered "
-        "outputs (RW105), and disk-cached numba kernels (RW106). "
+        "outputs (RW105), disk-cached numba kernels (RW106), and "
+        "monotonic-clock duration measurement (RW107). "
         "Exits 1 if any unsuppressed finding remains; "
         "suppress with `# repro: allow[RW###] <reason>`.",
     )
@@ -247,11 +305,16 @@ def _load_graph(args) -> object:
 
 def _run_software_engine(args, graph, spec, queries) -> int:
     """Run the pure-software walk engines and report wall-clock throughput."""
+    from repro.obs.metrics import engine_stats_into, global_registry
+
     stats = EngineStats()
     results, elapsed = run_software_walks(
         args.engine, graph, spec, queries, seed=derive_seed(args.seed, "engine"), stats=stats,
         workers=args.workers, sampler=args.sampler, backend=args.backend,
     )
+    # Feed the full per-run EngineStats ledger so `repro metrics walk ...`
+    # exports hop/proposal/termination counters, not just run totals.
+    engine_stats_into(global_registry(), stats, engine=args.engine)
     print(f"\n{args.engine} engine: {stats.total_hops} hops in {elapsed:.3f}s "
           f"({hops_per_second(stats.total_hops, elapsed):,.0f} hops/s)")
     print(f"terminations: {stats.length_terminations} length, "
@@ -335,6 +398,7 @@ def cmd_serve_bench(args) -> int:
 
     import numpy as np
 
+    from repro.obs.metrics import global_registry
     from repro.serve import (
         HotWalkCache,
         ServeConfig,
@@ -393,6 +457,7 @@ def cmd_serve_bench(args) -> int:
             rate_per_second=args.rate,
             arrival_seed=derive_seed(args.seed, "arrivals"),
         )
+        service.snapshot_metrics(global_registry())
         print()
         print(service.stats.summary())
         if report.dropped:
@@ -436,6 +501,7 @@ def cmd_serve_bench(args) -> int:
         return reports, service
 
     reports, service = asyncio.run(_drive())
+    service.snapshot_metrics(global_registry())
     print()
     print(service.stats.summary())
     for name, report in reports.items():
@@ -516,6 +582,71 @@ def cmd_mutate_bench(args) -> int:
     return 0
 
 
+def _run_wrapped(command: str, rest: list[str]) -> int:
+    """Re-dispatch one wrapped subcommand through the normal parser.
+
+    ``rest`` comes from ``argparse.REMAINDER``; a leading ``--``
+    separator (the conventional way to stop the wrapper from eating the
+    wrapped command's flags) is stripped.
+    """
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    args = build_parser().parse_args([command, *rest])
+    return COMMAND_HANDLERS[args.command](args)
+
+
+def cmd_trace(args) -> int:
+    """Run a wrapped command traced; export Chrome trace JSON or JSONL."""
+    from repro.obs import (
+        disable_tracing,
+        enable_tracing,
+        global_registry,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    # enable_tracing may replace the global tracer when resizing, so the
+    # instance it returns — not a pre-captured one — is the export source.
+    tracer = enable_tracing(capacity=args.capacity)
+    tracer.clear()
+    try:
+        rc = _run_wrapped(args.wrapped, args.rest)
+    finally:
+        disable_tracing()
+    events = tracer.events()
+    if args.trace_format == "chrome":
+        write_chrome_trace(args.out, events)
+    else:
+        write_jsonl(args.out, events, registry=global_registry(),
+                    meta={"command": [args.wrapped, *args.rest],
+                          "tracer": tracer.snapshot()})
+    print(f"\ntrace: {len(events)} events buffered "
+          f"({tracer.dropped} dropped) -> {args.out} [{args.trace_format}]")
+    return rc
+
+
+def cmd_metrics(args) -> int:
+    """Run a wrapped command; export the global registry as Prometheus."""
+    from repro.obs import (
+        global_registry,
+        render_prometheus,
+        reset_global_registry,
+        write_prometheus,
+    )
+
+    reset_global_registry()
+    rc = _run_wrapped(args.wrapped, args.rest)
+    registry = global_registry()
+    if args.out:
+        count = write_prometheus(args.out, registry)
+        print(f"\nmetrics: {count} samples across {len(registry)} "
+              f"metrics -> {args.out}")
+    else:
+        print()
+        sys.stdout.write(render_prometheus(registry))
+    return rc
+
+
 def cmd_lint(args) -> int:
     """Static determinism & resource-safety analysis (the CI gate)."""
     from pathlib import Path
@@ -567,13 +698,23 @@ def cmd_info(args) -> int:
     return 0
 
 
+#: Dispatch table shared by ``main`` and the trace/metrics wrappers.
+COMMAND_HANDLERS = {
+    "walk": cmd_walk,
+    "serve-bench": cmd_serve_bench,
+    "mutate-bench": cmd_mutate_bench,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
+    "lint": cmd_lint,
+    "experiment": cmd_experiment,
+    "info": cmd_info,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"walk": cmd_walk, "serve-bench": cmd_serve_bench,
-                "mutate-bench": cmd_mutate_bench, "lint": cmd_lint,
-                "experiment": cmd_experiment, "info": cmd_info}
     try:
-        return handlers[args.command](args)
+        return COMMAND_HANDLERS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -29,6 +29,7 @@ from repro.dynamic.workload import UpdateTrace, apply_batch
 from repro.engines import hops_per_second
 from repro.graph.builders import from_edges
 from repro.graph.csr import CSRGraph
+from repro.obs.metrics import dynamic_graph_into, global_registry
 from repro.sampling.base import derive_seed
 from repro.sampling.vectorized import make_kernel
 from repro.walks.base import WalkSpec, make_queries
@@ -50,9 +51,12 @@ class MutateBenchReport:
     incremental_seconds: float
     updates_per_second: float
     mean_snapshot_seconds: float
-    # Compaction.
+    # Compaction and delta-overlay accounting (DynamicGraph counters).
     compactions: int
     compaction_seconds: float
+    updates_applied: int
+    delta_edges: int
+    delta_peak: int
     # Sampled from-scratch rebuild cost and the resulting speedup.
     full_rebuild_samples: int
     mean_full_rebuild_seconds: float
@@ -71,7 +75,9 @@ class MutateBenchReport:
             f"updates:    {self.updates_per_second:,.0f} ops/s incremental "
             f"(mean snapshot {self.mean_snapshot_seconds * 1e3:.1f} ms)",
             f"compaction: {self.compactions} compactions, "
-            f"{self.compaction_seconds:.3f}s total",
+            f"{self.compaction_seconds:.3f}s total "
+            f"({self.updates_applied} updates applied; "
+            f"delta {self.delta_edges} final, {self.delta_peak} peak)",
             f"rebuild:    {self.mean_full_rebuild_seconds * 1e3:.1f} ms "
             f"from-scratch (x{self.full_rebuild_samples} samples) -> "
             f"incremental speedup {self.maintenance_speedup:.1f}x",
@@ -236,6 +242,10 @@ def run_mutate_bench(
     dynamic_rate = hops_per_second(dynamic_stats.total_hops, dynamic_s)
     static_rate = hops_per_second(static_stats.total_hops, static_s)
 
+    # Feed the telemetry layer once per run so `repro metrics
+    # mutate-bench ...` exports the dynamic-graph counters.
+    dynamic_graph_into(global_registry(), dynamic)
+
     return MutateBenchReport(
         trace=trace.name,
         algorithm=spec.name,
@@ -252,6 +262,9 @@ def run_mutate_bench(
         ),
         compactions=dynamic.compactions,
         compaction_seconds=dynamic.compaction_seconds - compaction_base,
+        updates_applied=dynamic.updates_applied,
+        delta_edges=dynamic.delta_edges,
+        delta_peak=dynamic.delta_peak,
         full_rebuild_samples=len(rebuild_seconds),
         mean_full_rebuild_seconds=mean_rebuild,
         maintenance_speedup=speedup,

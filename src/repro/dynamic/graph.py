@@ -39,6 +39,7 @@ from repro.dynamic.state import SamplerState, _assemble_csr, advance_graph_and_s
 from repro.errors import DynamicGraphError
 from repro.graph.builders import validate_edge_weights
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import span as _trace_span
 
 _INDEX_DTYPE = np.int64
 _WEIGHT_DTYPE = np.float64
@@ -139,6 +140,9 @@ class DynamicGraph:
         self.updates_applied = 0
         self.compactions = 0
         self.compaction_seconds = 0.0
+        #: High-water mark of :attr:`delta_edges` — how close the overlay
+        #: came to the compaction threshold (reported by mutate-bench).
+        self.delta_peak = 0
 
     # ------------------------------------------------------------------
     # Read API (current logical graph, base + overlay)
@@ -344,18 +348,22 @@ class DynamicGraph:
             self._notify_epoch(previous)
         if not self._dirty:
             return previous
-        dirty_rows = {v: self._merged_row(v) for v in self._dirty}
-        graph, state = advance_graph_and_state(
-            previous.graph,
-            previous.sampler_state,
-            dirty_rows,
-            name=self._base.name,
-        )
-        self._epoch += 1
-        snapshot = GraphSnapshot(epoch=self._epoch, graph=graph, sampler_state=state)
-        self._published = snapshot
-        self._dirty.clear()
-        self._notify_epoch(snapshot)
+        with _trace_span("dynamic.snapshot", epoch=self._epoch + 1,
+                         dirty_rows=len(self._dirty)):
+            dirty_rows = {v: self._merged_row(v) for v in self._dirty}
+            graph, state = advance_graph_and_state(
+                previous.graph,
+                previous.sampler_state,
+                dirty_rows,
+                name=self._base.name,
+            )
+            self._epoch += 1
+            snapshot = GraphSnapshot(
+                epoch=self._epoch, graph=graph, sampler_state=state
+            )
+            self._published = snapshot
+            self._dirty.clear()
+            self._notify_epoch(snapshot)
         return snapshot
 
     def add_epoch_listener(self, listener) -> None:
@@ -393,14 +401,17 @@ class DynamicGraph:
         """
         if not self._adj:
             return
-        started = time.perf_counter()
-        dirty_rows = {v: self._merged_row(v) for v in self._adj if self._adj[v]}
-        graph, _, _, _ = _assemble_csr(self._base, dirty_rows, self._base.name)
-        self._base = graph
-        self._adj.clear()
-        self._delta_entries = 0
-        self.compactions += 1
-        self.compaction_seconds += time.perf_counter() - started
+        with _trace_span("dynamic.compact", delta_edges=self._delta_entries):
+            started = time.perf_counter()
+            dirty_rows = {
+                v: self._merged_row(v) for v in self._adj if self._adj[v]
+            }
+            graph, _, _, _ = _assemble_csr(self._base, dirty_rows, self._base.name)
+            self._base = graph
+            self._adj.clear()
+            self._delta_entries = 0
+            self.compactions += 1
+            self.compaction_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # Internals
@@ -486,6 +497,8 @@ class DynamicGraph:
         return cols, weights
 
     def _maybe_compact(self) -> None:
+        if self._delta_entries > self.delta_peak:
+            self.delta_peak = self._delta_entries
         if self.needs_compaction:
             self.compact()
 

@@ -26,6 +26,8 @@ from repro.core import RidgeWalker, RidgeWalkerConfig
 from repro.errors import WalkConfigError
 from repro.graph.csr import CSRGraph
 from repro.memory.spec import HBM2_U55C
+from repro.obs.metrics import global_registry
+from repro.obs.trace import span as _trace_span
 from repro.parallel import ParallelWalkEngine, run_walks_parallel, validate_worker_backend
 from repro.sampling.hybrid import (
     SAMPLER_MODES,
@@ -114,9 +116,31 @@ def run_software_walks(
     """
     options = _validate_engine_options(engine, options)
     runner = SOFTWARE_ENGINES[engine]
-    started = time.perf_counter()
-    results = runner(graph, spec, queries, seed=seed, stats=stats, **options)
-    return results, time.perf_counter() - started
+    with _trace_span("engine.run", engine=engine, queries=len(queries)):
+        started = time.perf_counter()
+        results = runner(graph, spec, queries, seed=seed, stats=stats, **options)
+        elapsed = time.perf_counter() - started
+    _record_run_metrics(engine, results, elapsed)
+    return results, elapsed
+
+
+def _record_run_metrics(engine: str, results: WalkResults, elapsed: float) -> None:
+    """Feed per-run counters into the global metrics registry.
+
+    Once per *run*, never per hop, so the always-on cost is a few dict
+    operations; ``repro metrics`` renders the accumulated registry after
+    a wrapped command finishes.
+    """
+    registry = global_registry()
+    registry.counter(
+        "repro_engine_runs_total", "One-shot software engine runs",
+    ).inc(1, engine=engine)
+    registry.counter(
+        "repro_engine_run_seconds_total", "Wall-clock summed over one-shot runs",
+    ).inc(elapsed, engine=engine)
+    registry.counter(
+        "repro_engine_run_hops_total", "Hops executed by one-shot runs",
+    ).inc(results.total_steps, engine=engine)
 
 
 class PreparedEngine(ABC):
@@ -334,7 +358,8 @@ def prepare_engine(
     the parallel handle owns a worker pool and a shared-memory segment.
     """
     options = _validate_engine_options(engine, options)
-    return _PREPARED_ENGINES[engine](graph, spec, **options)
+    with _trace_span("engine.prepare", engine=engine):
+        return _PREPARED_ENGINES[engine](graph, spec, **options)
 
 
 def run_accelerator_walks(

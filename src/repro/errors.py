@@ -65,6 +65,10 @@ class BenchmarkError(ReproError):
     """An experiment harness was invoked with an unknown id or bad config."""
 
 
+class ObservabilityError(ReproError):
+    """The telemetry layer (tracer, metrics registry, exporter) was misused."""
+
+
 class ServeError(ReproError):
     """The walk-serving layer was misconfigured or used while stopped."""
 

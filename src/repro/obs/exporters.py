@@ -1,0 +1,247 @@
+"""Exporters: JSONL event logs, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three render targets for the two in-memory stores
+(:class:`~repro.obs.trace.Tracer` ring, :class:`~repro.obs.metrics.MetricsRegistry`):
+
+* **Chrome trace JSON** (:func:`chrome_trace`, :func:`write_chrome_trace`)
+  — the ``{"traceEvents": [...]}`` object format with complete (``"X"``)
+  and instant (``"i"``) phases, microsecond timestamps, and pid/tid
+  lanes; loads directly in ``chrome://tracing`` and `Perfetto
+  <https://ui.perfetto.dev>`_.
+* **JSONL** (:func:`write_jsonl`, :func:`replay_jsonl`) — one JSON
+  object per line, spans and metric totals interleaved with typed
+  records, built to round-trip: replaying a JSONL export reconstructs
+  metric totals identical to ``registry.totals()``.
+* **Prometheus text exposition** (:func:`render_prometheus`,
+  :func:`parse_prometheus`) — ``# HELP``/``# TYPE`` headers, one sample
+  per line, cumulative ``_bucket{le=...}``/``_sum``/``_count`` triples
+  for histograms.  The bundled parser exists for the round-trip tests
+  and the CLI's ledger-identity check, not as a general scraper.
+
+Every writer takes a path and produces a self-contained file; none of
+them mutate the tracer or registry, so exporting is repeatable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Histogram, MetricsRegistry, format_labels
+from repro.obs.trace import PHASE_INSTANT, SpanEvent, Tracer
+
+#: pid stamped on exported trace events — the trace is single-process;
+#: a stable value keeps diffs and golden files quiet.
+TRACE_PID = 1
+
+
+# -- Chrome trace_event -----------------------------------------------
+
+
+def chrome_trace(events: Iterable[SpanEvent], pid: int = TRACE_PID) -> dict:
+    """Build the Chrome ``trace_event`` object format for ``events``.
+
+    Timestamps and durations are converted to integer-free microsecond
+    floats (the format's native unit).  Instant events carry thread
+    scope (``"s": "t"``) so Perfetto draws them as thread-lane ticks.
+    """
+    trace_events = []
+    for event in events:
+        record: dict = {
+            "name": event.name,
+            "ph": event.phase,
+            "ts": event.ts * 1e6,
+            "pid": pid,
+            "tid": event.tid,
+            "args": dict(event.args),
+        }
+        if event.phase == PHASE_INSTANT:
+            record["s"] = "t"
+        else:
+            record["dur"] = event.dur * 1e6
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(path: str | Path, source: Tracer | Iterable[SpanEvent],
+                       pid: int = TRACE_PID) -> int:
+    """Write a Perfetto-loadable trace JSON; returns the event count."""
+    events = source.events() if isinstance(source, Tracer) else tuple(source)
+    payload = chrome_trace(events, pid=pid)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(payload["traceEvents"])
+
+
+# -- JSONL ------------------------------------------------------------
+
+
+def span_lines(events: Iterable[SpanEvent]) -> Iterator[str]:
+    """One ``{"type": "span", ...}`` JSON line per event."""
+    for event in events:
+        yield json.dumps({
+            "type": "span",
+            "name": event.name,
+            "ph": event.phase,
+            "ts": event.ts,
+            "dur": event.dur,
+            "tid": event.tid,
+            "args": dict(event.args),
+        }, sort_keys=True)
+
+
+def metric_lines(registry: MetricsRegistry) -> Iterator[str]:
+    """One ``{"type": "metric", ...}`` JSON line per flattened series."""
+    for name, series in registry.totals().items():
+        for labels, value in series.items():
+            yield json.dumps({
+                "type": "metric",
+                "name": name,
+                "labels": labels,
+                "value": value,
+            }, sort_keys=True)
+
+
+def write_jsonl(path: str | Path, events: Iterable[SpanEvent] = (),
+                registry: MetricsRegistry | None = None,
+                meta: dict | None = None) -> int:
+    """Write a combined JSONL export; returns the number of lines."""
+    lines = []
+    if meta is not None:
+        lines.append(json.dumps({"type": "meta", **meta}, sort_keys=True))
+    lines.extend(span_lines(events))
+    if registry is not None:
+        lines.extend(metric_lines(registry))
+    Path(path).write_text("\n".join(lines) + "\n" if lines else "",
+                          encoding="utf-8")
+    return len(lines)
+
+
+def replay_jsonl(source: str | Path | Iterable[str]) -> dict:
+    """Reconstruct totals from a JSONL export.
+
+    Returns ``{"spans": {name: {"count": n, "total_dur": seconds}},
+    "metrics": {name: {labels: value}}, "meta": {...} | None}``; the
+    ``metrics`` map is equal to the exporting registry's ``totals()``,
+    which is the round-trip identity ``tests/obs`` pins down.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = source
+    spans: dict[str, dict[str, float]] = {}
+    metrics: dict[str, dict[str, float]] = {}
+    meta = None
+    for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        record = json.loads(raw)
+        kind = record.get("type")
+        if kind == "span":
+            entry = spans.setdefault(record["name"], {"count": 0, "total_dur": 0.0})
+            entry["count"] += 1
+            entry["total_dur"] += record["dur"]
+        elif kind == "metric":
+            metrics.setdefault(record["name"], {})[record["labels"]] = record["value"]
+        elif kind == "meta":
+            meta = {k: v for k, v in record.items() if k != "type"}
+        else:
+            raise ObservabilityError(f"unknown JSONL record type {kind!r}")
+    return {"spans": spans, "metrics": metrics, "meta": meta}
+
+
+# -- Prometheus text exposition ---------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sample(name: str, labels: str, value: float) -> str:
+    if labels:
+        return f"{name}{{{labels}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _with_le(labels: str, bound: str) -> str:
+    le = f'le="{bound}"'
+    return f"{labels},{le}" if labels else le
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    out: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            out.append(f"# HELP {metric.name} {metric.help}")
+        out.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key in metric.labelsets():
+                counts, total_sum, total_count = metric.series(key)
+                labels = format_labels(key)
+                cumulative = 0
+                for bound, count in zip(metric.buckets, counts):
+                    cumulative += count
+                    out.append(_sample(f"{metric.name}_bucket",
+                                       _with_le(labels, str(bound)), cumulative))
+                out.append(_sample(f"{metric.name}_bucket",
+                                   _with_le(labels, "+Inf"), total_count))
+                out.append(_sample(f"{metric.name}_sum", labels, total_sum))
+                out.append(_sample(f"{metric.name}_count", labels, total_count))
+        else:
+            for key in metric.labelsets():
+                out.append(_sample(metric.name, format_labels(key),
+                                   metric.value(**dict(key))))
+    return "\n".join(out) + "\n" if out else ""
+
+
+def write_prometheus(path: str | Path, registry: MetricsRegistry) -> int:
+    """Write the text exposition to ``path``; returns the sample count."""
+    text = render_prometheus(registry)
+    Path(path).write_text(text, encoding="utf-8")
+    return sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, str], float]:
+    """Parse text exposition into ``{(name, label-string): value}``.
+
+    Line-by-line and strict: anything that is neither a comment nor a
+    well-formed sample raises :class:`ObservabilityError`.  Label
+    strings are kept verbatim (sorted by the renderer), so round-trip
+    comparisons are exact string matches.
+    """
+    samples: dict[tuple[str, str], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, value_text = line.rpartition(" ")
+        if not body:
+            raise ObservabilityError(f"line {lineno}: not a sample: {line!r}")
+        if body.endswith("}"):
+            name, _, labels = body.partition("{")
+            labels = labels[:-1]
+            if "{" not in body:
+                raise ObservabilityError(f"line {lineno}: bad labels: {line!r}")
+        else:
+            name, labels = body, ""
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"line {lineno}: bad value {value_text!r}"
+            ) from exc
+        key = (name, labels)
+        if key in samples:
+            raise ObservabilityError(f"line {lineno}: duplicate sample {key}")
+        samples[key] = value
+    return samples

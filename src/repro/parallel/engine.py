@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import GraphError, WalkConfigError
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import active as _active_tracer
 from repro.parallel import worker as _worker
 from repro.parallel.planner import QueryCostModel, plan_shards
 from repro.parallel.shared_graph import KERNEL_PREFIX, SharedArrayStore, graph_arrays
@@ -186,6 +187,9 @@ class ParallelWalkEngine:
                 f"{self._graph.num_vertices} vertices"
             )
 
+        tracer = _active_tracer()
+        if tracer is not None:
+            _t_plan = tracer.begin()
         costs = self._cost_model.costs(starts)
         shards = plan_shards(costs, self._workers * self._shards_per_worker)
         tasks = [
@@ -193,6 +197,10 @@ class ParallelWalkEngine:
             for positions in shards
             if positions.size
         ]
+        if tracer is not None:
+            tracer.end(_t_plan, "parallel.plan", queries=num_queries,
+                       shards=len(tasks))
+            _t_dispatch = tracer.begin()
 
         # Stream the merge: shards arrive in completion order (the scatter
         # below is position-addressed, so arrival order cannot change the
@@ -204,11 +212,17 @@ class ParallelWalkEngine:
         for positions, flat, hops, counts in self._pool.imap_unordered(
             _worker.run_shard, tasks
         ):
+            if tracer is not None:
+                tracer.instant("parallel.shard_merged", size=int(positions.size),
+                               hops=int(hops.sum()))
             pieces = split_path_buffer(flat, hops + 1)
             for position, piece in zip(positions.tolist(), pieces):
                 merged[position] = piece
             merged_hops[positions] = hops
             counter_totals += counts
+        if tracer is not None:
+            tracer.end(_t_dispatch, "parallel.dispatch", queries=num_queries,
+                       shards=len(tasks), workers=self._workers)
         results.paths = merged
         results.total_steps = int(merged_hops.sum())
 
@@ -246,6 +260,9 @@ class ParallelWalkEngine:
                 f"cannot swap to a graph with {graph.num_vertices} vertices; "
                 f"the engine was built for {self._graph.num_vertices}"
             )
+        tracer = _active_tracer()
+        if tracer is not None:
+            _t_swap = tracer.begin()
         if kernel_arrays is None:
             kernel = make_walk_kernel(self._spec.make_sampler(), self._sampler_mode)
             kernel.prepare(graph)
@@ -267,6 +284,8 @@ class ParallelWalkEngine:
         old_store.close()
         self._graph = graph
         self._cost_model = QueryCostModel(graph, self._spec)
+        if tracer is not None:
+            tracer.end(_t_swap, "parallel.swap", workers=self._workers)
 
     def close(self) -> None:
         """Stop the workers and release the shared segment."""

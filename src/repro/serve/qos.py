@@ -187,6 +187,19 @@ class TenantScheduler:
     def total_depth(self) -> int:
         return sum(gate.high_water for gate in self._gates.values())
 
+    def backlog(self) -> dict[str, int]:
+        """Buffered-but-undispatched client requests per tenant.
+
+        A point-in-time telemetry gauge (``WalkService.snapshot_metrics``):
+        distinct from gate occupancy, which also counts requests already
+        composed into an executing micro-batch.
+        """
+        return {name: len(self._queues[name]) for name in self._order}
+
+    def occupancies(self) -> dict[str, int]:
+        """Admitted-and-unresolved requests per tenant (gate view)."""
+        return {name: self._gates[name].occupancy for name in self._order}
+
     def push(self, item) -> None:
         """Buffer one dispatchable item (request or pool fill)."""
         tenant = getattr(item, "tenant", None)

@@ -48,6 +48,13 @@ import numpy as np
 from repro.engines import PreparedEngine, prepare_engine
 from repro.errors import GraphError, ServeError, ServeOverloadError
 from repro.graph.csr import CSRGraph
+from repro.obs.metrics import (
+    MetricsRegistry,
+    cache_into,
+    engine_stats_into,
+    serve_stats_into,
+)
+from repro.obs.trace import active as _active_tracer
 from repro.sampling.base import normalize_seed
 from repro.serve.admission import AdmissionGate
 from repro.serve.cache import POOL_ID_BASE, HotWalkCache, ServedWalk
@@ -283,6 +290,45 @@ class WalkService:
             )
         self._next_query_id = max(self._next_query_id, minimum)
 
+    def snapshot_metrics(
+        self, registry: MetricsRegistry | None = None
+    ) -> MetricsRegistry:
+        """Export every ledger this service keeps as a metrics registry.
+
+        Builds (or extends) a :class:`~repro.obs.metrics.MetricsRegistry`
+        from the global :class:`~repro.serve.stats.ServeStats` ledger,
+        the per-tenant ledgers (labelled ``tenant="..."``), the merged
+        engine counters, the hot-walk cache counters (when attached),
+        and point-in-time gauges (occupancy, per-tenant backlog, serving
+        epoch).  The export copies the ledgers exactly, so the
+        accounting identity ``offered == completed + dropped + failed``
+        holds per tenant on the exported counters whenever it holds on
+        the ledgers; render it with
+        :func:`repro.obs.exporters.render_prometheus` or
+        :func:`repro.obs.exporters.write_jsonl`.  Safe to call at any
+        point in the service lifecycle — it only reads.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        serve_stats_into(registry, self.stats)
+        for name in sorted(self.tenant_stats):
+            serve_stats_into(registry, self.tenant_stats[name], tenant=name)
+        engine_stats_into(registry, self.engine_stats, engine=self.engine_name)
+        if self.cache is not None:
+            cache_into(registry, self.cache)
+        registry.gauge(
+            "repro_serve_occupancy", "Requests admitted and not yet resolved",
+        ).set(self.occupancy)
+        registry.gauge(
+            "repro_serve_epoch", "Graph version new requests are served against",
+        ).set(self._epoch)
+        backlog = registry.gauge(
+            "repro_serve_backlog",
+            "Buffered client requests awaiting batch composition",
+        )
+        for tenant, depth in self._scheduler.backlog().items():
+            backlog.set(depth, tenant=tenant)
+        return registry
+
     async def start(self) -> None:
         """Bring up the dispatcher; idempotent while running."""
         if self._accepting:
@@ -391,6 +437,9 @@ class WalkService:
             tenant_stats = self.tenant_stats.get(tenant)
             if tenant_stats is not None:
                 tenant_stats.record_drop()
+            tracer = _active_tracer()
+            if tracer is not None:
+                tracer.instant("serve.shed", tenant=tenant)
             raise
         # The global gate's high-water is the sum of tenant depths, so a
         # request its tenant admitted always fits here too.
@@ -491,6 +540,10 @@ class WalkService:
                 if tenant_stats is not None:
                     tenant_stats.record_submit(now)
                     tenant_stats.record_completion(0.0, now, cache_hit=True)
+                tracer = _active_tracer()
+                if tracer is not None:
+                    tracer.instant("serve.cache_hit", vertex=start_vertex,
+                                   epoch=self._epoch, tenant=tenant)
                 future: asyncio.Future = loop.create_future()
                 future.set_result(
                     ServedWalk(pool_id, path, self._epoch, cache_hit=True)
@@ -500,6 +553,11 @@ class WalkService:
             if fill_queries is not None:
                 # Gate-exempt: pool generation is the service's own work,
                 # queued *now* so it lands on the epoch that is hot.
+                tracer = _active_tracer()
+                if tracer is not None:
+                    tracer.instant("serve.cache_fill_queued",
+                                   vertex=start_vertex, epoch=self._epoch,
+                                   pool_size=len(fill_queries))
                 self._queue.put_nowait(_PoolFill(start_vertex, fill_queries))
         self._admit(tenant, start_vertex)
         self._next_query_id += 1
@@ -569,6 +627,9 @@ class WalkService:
         assert self._inflight is not None
         loop = asyncio.get_running_loop()
         acquired = 0
+        tracer = _active_tracer()
+        if tracer is not None:
+            _t_swap = tracer.begin()
         try:
             for _ in range(self._config.max_inflight):
                 await self._inflight.acquire()
@@ -603,6 +664,12 @@ class WalkService:
         finally:
             for _ in range(acquired):
                 self._inflight.release()
+            if tracer is not None:
+                # Covers the permit sweep (the barrier) plus the engine
+                # swap itself; ``epoch`` is the version now serving.
+                tracer.end(_t_swap, "serve.epoch_swap", epoch=self._epoch,
+                           applied=swap.future.done() and
+                           swap.future.exception() is None)
 
     async def _dispatch_loop(self) -> None:
         """Coalesce requests into micro-batches and hand them off.
@@ -681,6 +748,10 @@ class WalkService:
                     # buffered for the teardown requeue below.
                     await self._inflight.acquire()
                     batch = scheduler.next_batch(self._config.max_batch)
+                    tracer = _active_tracer()
+                    if tracer is not None:
+                        tracer.instant("serve.coalesce", size=len(batch),
+                                       backlog=scheduler.pending_clients)
                     task = asyncio.create_task(self._execute(batch))
                     self._batch_tasks.add(task)
                     task.add_done_callback(self._batch_tasks.discard)
@@ -730,6 +801,9 @@ class WalkService:
         batch_stats = EngineStats()
         started = loop.time()
         failure: Exception | None = None
+        tracer = _active_tracer()
+        if tracer is not None:
+            _t_exec = tracer.begin()
         try:
             results = await loop.run_in_executor(
                 self._executor,
@@ -738,6 +812,12 @@ class WalkService:
         except Exception as exc:
             failure = exc
         now = loop.time()
+        if tracer is not None:
+            tracer.end(_t_exec, "serve.execute", batch=len(clients),
+                       fills=len(fills), queries=len(queries), epoch=epoch,
+                       hops=batch_stats.total_hops,
+                       tenants=sorted({r.tenant for r in clients}),
+                       failed=failure is not None)
         self._inflight.release()
         _merge_engine_stats(self.engine_stats, batch_stats)
         if clients:
@@ -761,6 +841,8 @@ class WalkService:
                 for fill in fills:
                     self.cache.fill_aborted(fill.start_vertex)
             return
+        if tracer is not None:
+            _t_resp = tracer.begin()
         for position, request in enumerate(clients):
             if not request.future.done():
                 if request.cacheable:
@@ -778,6 +860,8 @@ class WalkService:
             tenant_stats = self.tenant_stats.get(request.tenant)
             if tenant_stats is not None:
                 tenant_stats.record_completion(latency, now)
+        if tracer is not None and clients:
+            tracer.end(_t_resp, "serve.respond", batch=len(clients))
         if fills and self.cache is not None:
             position = len(clients)
             for fill in fills:
@@ -789,6 +873,9 @@ class WalkService:
                         path = path.copy()
                     entries.append((query.query_id, path))
                 self.cache.install(epoch, fill.start_vertex, entries)
+                if tracer is not None:
+                    tracer.instant("serve.cache_fill", vertex=fill.start_vertex,
+                                   entries=len(entries), epoch=epoch)
 
 
 def replay_paths(

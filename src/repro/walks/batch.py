@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import GraphError, WalkConfigError
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import active as _active_tracer
 from repro.sampling.hybrid import make_walk_kernel, validate_sampler_mode
 from repro.sampling.vectorized import QueryStreams, VectorizedKernel
 from repro.walks.base import Query, WalkResults, WalkSpec
@@ -101,10 +102,18 @@ def run_walks_batch_arrays(
     paths = np.empty((num_queries, capacity + 1), dtype=np.int64)
     paths[:, 0] = current
 
+    # Hoisted once per run: with tracing disabled (the default) the
+    # per-superstep cost is one local ``is not None`` branch — the
+    # overhead contract benchmarks/bench_obs_overhead.py enforces.
+    tracer = _active_tracer()
+
     for step in range(spec.max_length):
         frontier = np.nonzero(alive)[0]
         if frontier.size == 0:
             break
+        if tracer is not None:
+            _span_start = tracer.begin()
+            _span_width = int(frontier.size)
 
         dangling = degrees[current[frontier]] == 0
         if dangling.any():
@@ -113,6 +122,9 @@ def run_walks_batch_arrays(
             cause[stuck] = _DANGLING
             frontier = frontier[~dangling]
             if frontier.size == 0:
+                if tracer is not None:
+                    tracer.end(_span_start, "batch.superstep", step=step,
+                               frontier=_span_width, survivors=0)
                 break
 
         prev_arg = previous[frontier] if spec.needs_prev_vertex else np.full(
@@ -137,6 +149,9 @@ def run_walks_batch_arrays(
             cause[ended] = _EARLY
             frontier = frontier[~terminated]
             if frontier.size == 0:
+                if tracer is not None:
+                    tracer.end(_span_start, "batch.superstep", step=step,
+                               frontier=_span_width, survivors=0)
                 continue
         choice = batch.choice[batch.choice >= 0]
 
@@ -158,6 +173,9 @@ def run_walks_batch_arrays(
                 ended = frontier[stop]
                 alive[ended] = False
                 cause[ended] = _PROBABILISTIC
+        if tracer is not None:
+            tracer.end(_span_start, "batch.superstep", step=step,
+                       frontier=_span_width, survivors=int(frontier.size))
 
     if stats is not None:
         stats.total_hops += int(hops.sum())

@@ -1,0 +1,24 @@
+"""RW107 clean fixture: monotonic clocks for durations, time.time() for
+timestamps of record only."""
+import time
+
+
+def monotonic_duration():
+    started = time.perf_counter()
+    do_work()
+    return time.perf_counter() - started
+
+
+def monotonic_clock_duration():
+    started = time.monotonic()
+    do_work()
+    return time.monotonic() - started
+
+
+def wall_clock_timestamp_of_record():
+    # Reading the wall clock is fine — only *differencing* it is not.
+    return {"recorded_at": time.time(), "value": do_work()}
+
+
+def do_work():
+    return 0.0

@@ -1,0 +1,24 @@
+"""RW107 flagging fixture: wall-clock differences posing as durations."""
+import time as clock
+from time import time
+
+
+def inline_difference():
+    started = do_work()
+    return clock.time() - started
+
+
+def tracked_names_difference():
+    started = clock.time()
+    do_work()
+    finished = clock.time()
+    return finished - started
+
+
+def bare_import_difference():
+    begun = do_work()
+    return time() - begun
+
+
+def do_work():
+    return 0.0

@@ -1,0 +1,11 @@
+"""RW107 suppressed fixture: a deliberate wall-clock delta, with reason."""
+import time
+
+
+def seconds_since_epoch_boundary(epoch_boundary: float) -> float:
+    # repro: allow[RW107] comparing against an externally recorded wall-clock date, not measuring a duration
+    return time.time() - epoch_boundary
+
+
+def do_work():
+    return 0.0

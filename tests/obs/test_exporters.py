@@ -1,0 +1,156 @@
+"""Exporter round-trips: Chrome trace_event schema, JSONL replay,
+Prometheus render/parse.
+
+Each exporter is tested against its own reader where one exists
+(``replay_jsonl``, ``parse_prometheus``) and against the documented
+schema where the reader is external (Perfetto's trace_event format).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exporters import (
+    TRACE_PID,
+    chrome_trace,
+    parse_prometheus,
+    render_prometheus,
+    replay_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer(capacity=64)
+    tracer.enable()
+    with tracer.span("engine.run", engine="batch"):
+        token = tracer.begin()
+        tracer.end(token, "batch.superstep", step=0, frontier=32)
+        tracer.instant("serve.shed", tenant="premium")
+    return tracer
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_serve_requests_total", "by outcome").inc(
+        5, outcome="completed", tenant="t0"
+    )
+    registry.counter("repro_serve_requests_total").inc(
+        2, outcome="dropped", tenant="t0"
+    )
+    registry.gauge("repro_serve_epoch", "serving epoch").set(3)
+    registry.histogram(
+        "repro_serve_latency_seconds", "latency", buckets=(0.001, 0.01, 0.1)
+    ).observe_many([0.0005, 0.002, 0.05, 2.0], tenant="t0")
+    return registry
+
+
+class TestChromeTrace:
+    def test_schema_fields(self):
+        tracer = make_tracer()
+        payload = chrome_trace(tracer.events())
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 3
+        by_name = {event["name"]: event for event in events}
+        superstep = by_name["batch.superstep"]
+        assert superstep["ph"] == "X"
+        assert superstep["pid"] == TRACE_PID
+        assert superstep["tid"] > 0
+        assert superstep["dur"] >= 0.0
+        assert superstep["args"] == {"step": 0, "frontier": 32}
+        shed = by_name["serve.shed"]
+        assert shed["ph"] == "i"
+        assert shed["s"] == "t"
+        assert "dur" not in shed
+        # ts is microseconds: spans recorded microseconds apart must not
+        # collapse to equal stamps the way second-resolution would.
+        assert all(isinstance(event["ts"], float) for event in events)
+
+    def test_write_is_valid_json_and_counts_events(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(path, tracer) == 3
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert len(loaded["traceEvents"]) == 3
+        # Nesting is reconstructable: the enclosing engine.run span
+        # covers the superstep span on the same tid.
+        by_name = {event["name"]: event for event in loaded["traceEvents"]}
+        run, step = by_name["engine.run"], by_name["batch.superstep"]
+        assert run["ts"] <= step["ts"]
+        assert run["ts"] + run["dur"] >= step["ts"] + step["dur"]
+
+
+class TestJsonlRoundTrip:
+    def test_replay_reconstructs_metric_totals_exactly(self, tmp_path):
+        tracer = make_tracer()
+        registry = make_registry()
+        path = tmp_path / "out.jsonl"
+        lines = write_jsonl(path, tracer.events(), registry,
+                            meta={"command": ["serve-bench"]})
+        assert lines == 3 + len(
+            [v for series in registry.totals().values() for v in series]
+        ) + 1
+        replayed = replay_jsonl(path)
+        assert replayed["metrics"] == registry.totals()
+        assert replayed["meta"] == {"command": ["serve-bench"]}
+        assert replayed["spans"]["batch.superstep"]["count"] == 1
+        assert replayed["spans"]["serve.shed"]["count"] == 1
+
+    def test_replay_rejects_unknown_record_types(self):
+        with pytest.raises(ObservabilityError):
+            replay_jsonl(['{"type": "mystery"}'])
+
+    def test_empty_export_round_trips(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl(path) == 0
+        assert replay_jsonl(path) == {"spans": {}, "metrics": {}, "meta": None}
+
+
+class TestPrometheusRoundTrip:
+    def test_parse_recovers_every_rendered_sample(self, tmp_path):
+        registry = make_registry()
+        text = render_prometheus(registry)
+        samples = parse_prometheus(text)
+        assert samples[("repro_serve_requests_total",
+                        'outcome="completed",tenant="t0"')] == 5
+        assert samples[("repro_serve_epoch", "")] == 3
+        # Histogram: cumulative buckets plus the exact _sum/_count pair.
+        assert samples[("repro_serve_latency_seconds_bucket",
+                        'tenant="t0",le="0.001"')] == 1
+        assert samples[("repro_serve_latency_seconds_bucket",
+                        'tenant="t0",le="0.1"')] == 3
+        assert samples[("repro_serve_latency_seconds_bucket",
+                        'tenant="t0",le="+Inf"')] == 4
+        assert samples[("repro_serve_latency_seconds_count",
+                        'tenant="t0"')] == 4
+        assert samples[("repro_serve_latency_seconds_sum",
+                        'tenant="t0"')] == pytest.approx(2.0525)
+        path = tmp_path / "metrics.prom"
+        assert write_prometheus(path, registry) == len(samples)
+        assert parse_prometheus(path.read_text(encoding="utf-8")) == samples
+
+    def test_type_and_help_headers_are_rendered(self):
+        text = render_prometheus(make_registry())
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "# TYPE repro_serve_epoch gauge" in text
+        assert "# TYPE repro_serve_latency_seconds histogram" in text
+        assert "# HELP repro_serve_requests_total by outcome" in text
+
+    def test_parser_is_strict(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus("not a sample line at all with no value trail x")
+        with pytest.raises(ObservabilityError):
+            parse_prometheus("metric_name notanumber")
+        with pytest.raises(ObservabilityError):
+            parse_prometheus("dup 1\ndup 2")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
