@@ -1,0 +1,201 @@
+"""Distributed engine benchmark: bit-identity gate + scaling vs parallel.
+
+Runs one workload — by default 50k DeepWalk queries of length 80 on an
+RMAT-17 graph — through the single-core batch engine, the sharded
+``parallel`` engine, and the distributed shard-routed ``dist`` engine
+(all warmed), then:
+
+* **always** verifies the dist engine's results are bit-identical to the
+  batch engine's — the determinism contract of walker forwarding, which
+  no configuration is allowed to lose;
+* on a host with >= 4 cores, requires dist throughput to reach
+  ``--min-ratio`` (default 0.7x) of the parallel engine's — dist pays
+  per-superstep routing the worker pool does not, but partitioned
+  execution must stay in the same performance class (advisory on
+  smaller hosts: nothing to scale across).
+
+``BENCH_dist.json`` records hops/sec for all three engines plus the
+routing telemetry that characterizes the partition: forwarding rate
+(fraction of hops that crossed a shard boundary) and per-shard occupancy
+(walker-steps processed per shard, normalized).
+
+``--smoke`` (used by ``scripts/check.sh`` and the CI fast lane) shrinks
+to a 2-shard RMAT-12 run and checks only the bit-identity gate.
+
+Run:  PYTHONPATH=src python benchmarks/bench_dist_engine.py          # acceptance run
+      PYTHONPATH=src python benchmarks/bench_dist_engine.py --smoke  # fast CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.reporting import resolve_bench_json_path, write_bench_json
+from repro.bench.workloads import RMAT_BENCH_ALGORITHMS, make_spec
+from repro.dist import DistWalkEngine
+from repro.engines import hops_per_second
+from repro.graph import rmat
+from repro.parallel import ParallelWalkEngine, default_workers
+from repro.sampling.vectorized import make_kernel
+from repro.walks import EngineStats, WalkResults, make_queries
+from repro.walks.batch import run_walks_batch_arrays
+
+#: Available cores below which the scaling gate is advisory — with
+#: fewer, shard workers time-slice and the ratio measures the
+#: scheduler, not the engine.
+MIN_GATED_CORES = 4
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=17,
+                        help="RMAT scale (2**scale vertices)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--queries", type=int, default=50_000)
+    parser.add_argument("--length", type=int, default=80)
+    parser.add_argument("--algorithm", choices=RMAT_BENCH_ALGORITHMS, default="DeepWalk")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="graph partitions (default: all cores)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--min-ratio", type=float, default=0.7,
+                        help="fail when dist/parallel hops-per-sec falls below "
+                        f"this on a >= {MIN_GATED_CORES}-core host")
+    parser.add_argument("--json", default=None,
+                        help="machine-readable output path; defaults to "
+                        "benchmarks/BENCH_dist.json for full runs and off for "
+                        "--smoke (so CI smokes don't overwrite the acceptance "
+                        "record); '' disables")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: 2 shards on RMAT-12, bit-identity only")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale = min(args.scale, 12)
+        args.edge_factor = min(args.edge_factor, 8)
+        args.queries = min(args.queries, 2_000)
+        args.length = min(args.length, 40)
+        args.shards = args.shards or 2
+    args.json = resolve_bench_json_path(args.json, args.smoke, __file__,
+                                        "BENCH_dist.json")
+
+    host_cores = default_workers()
+    shards = args.shards or host_cores
+    graph = rmat(args.scale, edge_factor=args.edge_factor, seed=args.seed)
+    spec = make_spec(args.algorithm)
+    spec.max_length = args.length
+    queries = make_queries(graph, args.queries, seed=args.seed + 1)
+    print(f"graph: {graph}")
+    print(f"workload: {args.algorithm}, {args.queries} queries, length {args.length}")
+    print(f"host: {host_cores} cores; dist shards: {shards}")
+
+    # Warmed-vs-warmed throughout (see bench_parallel_engine.py): every
+    # engine's one-time preparation — kernel tables, partitioning,
+    # worker start-up — stays outside the timed section.
+    kernel = make_kernel(spec.make_sampler())
+    kernel.prepare(graph)
+    query_ids = np.fromiter((q.query_id for q in queries), np.int64, len(queries))
+    starts = np.fromiter((q.start_vertex for q in queries), np.int64, len(queries))
+    batch_stats = EngineStats()
+    started = time.perf_counter()
+    paths, hops = run_walks_batch_arrays(
+        graph, spec, kernel, starts, query_ids, seed=args.seed + 2, stats=batch_stats
+    )
+    batch_results = WalkResults()
+    batch_results.extend_from_matrix(paths, hops)
+    batch_s = time.perf_counter() - started
+    batch_rate = hops_per_second(batch_stats.total_hops, batch_s)
+    print(f"batch:    {batch_stats.total_hops:>10d} hops  {batch_s:8.3f}s  "
+          f"{batch_rate:>12,.0f} hops/s")
+
+    parallel_stats = EngineStats()
+    with ParallelWalkEngine(graph, spec, workers=shards) as engine:
+        engine.run(queries[: shards * 8], seed=args.seed + 99)
+        started = time.perf_counter()
+        engine.run(queries, seed=args.seed + 2, stats=parallel_stats)
+        parallel_s = time.perf_counter() - started
+    parallel_rate = hops_per_second(parallel_stats.total_hops, parallel_s)
+    print(f"parallel: {parallel_stats.total_hops:>10d} hops  {parallel_s:8.3f}s  "
+          f"{parallel_rate:>12,.0f} hops/s")
+
+    dist_stats = EngineStats()
+    with DistWalkEngine(graph, spec, shards=shards) as engine:
+        engine.run(queries[: shards * 8], seed=args.seed + 99)
+        started = time.perf_counter()
+        dist_results = engine.run(queries, seed=args.seed + 2, stats=dist_stats)
+        dist_s = time.perf_counter() - started
+        routing = engine.last_run_stats or {}
+    dist_rate = hops_per_second(dist_stats.total_hops, dist_s)
+    print(f"dist:     {dist_stats.total_hops:>10d} hops  {dist_s:8.3f}s  "
+          f"{dist_rate:>12,.0f} hops/s")
+
+    processed = np.asarray(routing.get("per_shard_processed", []), dtype=np.float64)
+    occupancy = (processed / processed.sum()).tolist() if processed.sum() else []
+    forward_rate = float(routing.get("forward_rate", 0.0))
+    ratio = dist_rate / parallel_rate if parallel_rate else float("inf")
+    print(f"routing:  {routing.get('forwarded', 0)} forwards "
+          f"({forward_rate * 100:.1f}% of hops crossed shards); "
+          f"occupancy {['%.3f' % o for o in occupancy]}")
+    print(f"ratio:    {ratio:.2f}x of parallel "
+          f"(gate: {args.min_ratio:.1f}x on >= {MIN_GATED_CORES} cores)")
+
+    if args.json:
+        write_bench_json(args.json, {
+            "benchmark": "dist_engine",
+            "workload": {
+                "algorithm": args.algorithm,
+                "graph": f"rmat-{args.scale}",
+                "edge_factor": args.edge_factor,
+                "queries": args.queries,
+                "length": args.length,
+                "smoke": args.smoke,
+            },
+            "host_cores": host_cores,
+            "shards": shards,
+            "hops_per_sec": {
+                "batch": round(batch_rate),
+                "parallel": round(parallel_rate),
+                "dist": round(dist_rate),
+            },
+            "total_hops": dist_stats.total_hops,
+            "ratio_vs_parallel": round(ratio, 3),
+            "forward_rate": round(forward_rate, 4),
+            "per_shard_occupancy": [round(o, 4) for o in occupancy],
+            "gate": {
+                "min_ratio": args.min_ratio,
+                "enforced": host_cores >= MIN_GATED_CORES and not args.smoke,
+            },
+        })
+        print(f"wrote {args.json}")
+
+    # The bit-identity gate applies to every run, full or smoke: losing
+    # it silently would invalidate every other number in the record.
+    if dist_stats.total_hops != batch_stats.total_hops:
+        print("FAIL: dist engine hop count diverges from batch", file=sys.stderr)
+        return 1
+    for a, b in zip(batch_results.paths, dist_results.paths):
+        if not np.array_equal(a, b):
+            print("FAIL: dist engine paths diverge from batch", file=sys.stderr)
+            return 1
+    print("bit-identity: dist results identical to batch")
+
+    if args.smoke:
+        print("PASS (smoke)")
+        return 0
+    if host_cores < MIN_GATED_CORES:
+        print(f"PASS (advisory: {host_cores} < {MIN_GATED_CORES} cores, "
+              "scaling gate not enforced)")
+        return 0
+    if ratio < args.min_ratio:
+        print("FAIL: dist engine below required fraction of parallel throughput",
+              file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,9 @@
 # artifacts, and the fused jit
 # kernels must stay bit-identical to the batch engine (compiled where
 # numba is installed, interpreted through the same code path where it
-# is not) plus run end-to-end from the CLI.  (The machine-readable
+# is not) plus run end-to-end from the CLI, and the distributed
+# graph-partitioned engine (2 shards, walker forwarding) must stay
+# bit-identical to the batch engine end-to-end.  (The machine-readable
 # BENCH_*.json perf records are rewritten by the *full* benchmark runs,
 # not by these smokes.)
 #
@@ -98,3 +100,8 @@ echo "== jit smoke (fused kernels bit-identical to batch + CLI end-to-end) =="
 python benchmarks/bench_jit_engine.py --smoke
 python -m repro walk --engine jit --algorithm DeepWalk --queries 200 --length 20 --scale 0.05
 python -m repro walk --engine jit --algorithm Node2Vec --queries 200 --length 20 --scale 0.05
+
+echo
+echo "== dist engine smoke (2 shards, walker forwarding, bit-identical to batch) =="
+python benchmarks/bench_dist_engine.py --smoke
+python -m repro walk --engine dist --shards 2 --algorithm DeepWalk --queries 200 --length 20 --scale 0.05

@@ -61,6 +61,7 @@ SIM_ONLY_WALK_OPTIONS = (
 ENGINE_ONLY_WALK_OPTIONS = (
     ("--workers", "workers", None, "parallel"),
     ("--backend", "backend", None, "parallel"),
+    ("--shards", "shards", None, "dist"),
 )
 
 #: Commands the ``trace`` / ``metrics`` observability wrappers can run.
@@ -86,6 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
                       "(bit-identical to batch; falls back to batch with a "
                       "warning when numba is absent), "
                       "'parallel' = sharded multicore batch engine, "
+                      "'dist' = distributed graph-partitioned engine with "
+                      "walker forwarding, "
                       "'reference' = pure-Python oracle loop")
     walk.add_argument("--workers", type=int, default=None,
                       help="worker processes (parallel engine only; "
@@ -93,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--backend", choices=WORKER_BACKENDS, default=None,
                       help="per-worker shard core (parallel engine only): "
                       "'batch' supersteps or 'jit' fused kernels")
+    walk.add_argument("--shards", type=int, default=None,
+                      help="graph partitions / shard workers (dist engine "
+                      "only; default: all cores)")
     walk.add_argument("--sampler", choices=SAMPLER_MODES, default="default",
                       help="sampling backend (software engines only): "
                       "'default' = the algorithm's single-strategy sampler, "
@@ -128,11 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput.",
     )
     serve.add_argument("--algorithm", choices=ALGORITHMS, default="DeepWalk")
-    serve.add_argument("--engine", choices=("batch", "jit", "parallel", "reference"),
+    serve.add_argument("--engine",
+                       choices=("batch", "jit", "parallel", "dist", "reference"),
                        default="batch",
                        help="execution engine behind the service (default batch)")
     serve.add_argument("--workers", type=int, default=None,
                        help="worker processes (parallel engine only)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="graph partitions (dist engine only)")
     serve.add_argument("--sampler", choices=SAMPLER_MODES, default="auto",
                        help="sampling backend behind the service (default "
                        "auto: per-row hybrid strategy selection)")
@@ -311,6 +320,7 @@ def _run_software_engine(args, graph, spec, queries) -> int:
     results, elapsed = run_software_walks(
         args.engine, graph, spec, queries, seed=derive_seed(args.seed, "engine"), stats=stats,
         workers=args.workers, sampler=args.sampler, backend=args.backend,
+        shards=args.shards,
     )
     # Feed the full per-run EngineStats ledger so `repro metrics walk ...`
     # exports hop/proposal/termination counters, not just run totals.
@@ -418,6 +428,11 @@ def cmd_serve_bench(args) -> int:
             "--workers only applies to the parallel engine; drop it or use "
             "--engine parallel"
         )
+    if args.shards is not None and args.engine != "dist":
+        raise WalkConfigError(
+            "--shards only applies to the dist engine; drop it or use "
+            "--engine dist"
+        )
     if args.tenants < 0:
         raise WalkConfigError(f"--tenants must be >= 0, got {args.tenants}")
     graph = _load_graph(args)
@@ -444,6 +459,8 @@ def cmd_serve_bench(args) -> int:
           + (", cache" if args.cache else ""))
 
     engine_options = {"workers": args.workers} if args.engine == "parallel" else {}
+    if args.engine == "dist":
+        engine_options["shards"] = args.shards
     engine_options["sampler"] = args.sampler
     engine_seed = derive_seed(args.seed, "engine")
 

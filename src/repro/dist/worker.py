@@ -1,0 +1,293 @@
+"""Shard worker process: local supersteps + walker forwarding.
+
+Each worker owns one graph shard (attached zero-copy from its shared
+segment) and holds the *resident* walkers — those whose current vertex
+the shard owns.  A run proceeds in parent-coordinated supersteps: on
+every ``("step", k)`` control message the worker advances all residents
+one hop with the same vectorized kernel path as the batch engine, then
+exchanges departures with every peer shard through the per-pair queues.
+
+The exchange is lockstep and therefore deadlock-free: each step, each
+worker sends exactly one (possibly empty) walker batch to every peer,
+then receives exactly one batch from every peer, always in ascending
+shard order.  ``multiprocessing.Queue`` puts never block (a feeder
+thread drains them), so the symmetric send-all-then-receive-all pattern
+cannot cycle.
+
+Bit-identity with :func:`repro.walks.batch.run_walks_batch` rests on two
+facts.  First, every per-walker random draw in the vectorized kernels
+consumes only that walker's own splitmix64 substream, in an order fixed
+by the walker's own trajectory — never by which other walkers share the
+frontier.  Second, a forwarded walker carries its raw substream state
+``(query_id, step, vertex, rng state)`` and the receiving shard resumes
+it via :meth:`QueryStreams.from_states`, so the draw sequence continues
+exactly where it left off.  Shard count and routing interleave therefore
+cannot change any path or any counter.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+
+import numpy as np
+
+from repro.dist.shard import shard_view_from_store
+from repro.parallel.shared_graph import SharedArrayStore, kernel_state_from_store
+from repro.parallel.worker import STAT_FIELDS
+from repro.sampling.hybrid import make_walk_kernel
+from repro.sampling.vectorized import QueryStreams
+
+#: Indices into the per-run stat-counter vector, aligned with STAT_FIELDS.
+(_PROPOSALS, _READS, _DANGLING, _EARLY, _PROBABILISTIC, _LENGTH) = range(
+    len(STAT_FIELDS)
+)
+
+
+def _empty_walkers() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    return (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.uint64),
+    )
+
+
+class _ShardState:
+    """Everything one shard worker holds between control messages."""
+
+    def __init__(self, shard_id, handle, spec, sampler_mode, send_queues, recv_queues):
+        self._shard_id = shard_id
+        self._spec = spec
+        self._sampler_mode = sampler_mode
+        self._send = send_queues
+        self._recv = recv_queues
+        self._peers = sorted(send_queues)
+        self._store: SharedArrayStore | None = None
+        self._view = None
+        self._owner = None
+        self._kernel = None
+        self.adopt(handle)
+        self._reset_run()
+
+    def adopt(self, handle) -> None:
+        """Attach a (new) shard segment; swap-safe and leak-safe.
+
+        If rebuilding the view or kernel fails after the segment mapped,
+        the attach is closed before the error propagates — the worker
+        must never exit holding a mapping the parent cannot see
+        (satellite audit of the shared-segment handoff).
+        """
+        store = SharedArrayStore.attach(handle, untrack=False)
+        try:
+            view, owner = shard_view_from_store(store)
+            kernel = make_walk_kernel(self._spec.make_sampler(), self._sampler_mode)
+            kernel.load_state(kernel_state_from_store(store))
+        except BaseException:
+            store.close()
+            raise
+        old_store = self._store
+        self._store = store
+        self._view = view
+        self._owner = owner
+        self._kernel = kernel
+        if old_store is not None:
+            old_store.close()
+
+    def _reset_run(self) -> None:
+        (
+            self._positions,
+            self._current,
+            self._previous,
+            self._states,
+        ) = _empty_walkers()
+        self._log_pos: list[np.ndarray] = []
+        self._log_step: list[np.ndarray] = []
+        self._log_vert: list[np.ndarray] = []
+        self._counts = np.zeros(len(STAT_FIELDS), dtype=np.int64)
+
+    def start_run(self, positions, vertices, states) -> None:
+        self._reset_run()
+        self._positions = np.ascontiguousarray(positions, dtype=np.int64)
+        self._current = np.ascontiguousarray(vertices, dtype=np.int64)
+        self._previous = np.full(self._current.size, -1, dtype=np.int64)
+        self._states = np.ascontiguousarray(states, dtype=np.uint64)
+
+    def superstep(self, step: int) -> tuple[int, int, int]:
+        """One frontier hop + peer exchange; ``(alive, forwarded, processed)``.
+
+        The per-walker order of operations — dangling check, kernel
+        sample, early termination, advance, teleport draw — mirrors
+        ``run_walks_batch_arrays`` exactly; only the bookkeeping differs
+        (hop logs instead of a dense path matrix, since the parent owns
+        the final assembly).
+        """
+        spec = self._spec
+        view = self._view
+        processed = int(self._current.size)
+        streams = QueryStreams.from_states(self._states)
+        frontier = np.arange(self._current.size, dtype=np.int64)
+
+        degrees = view.degrees()
+        dangling = degrees[self._current[frontier]] == 0
+        if dangling.any():
+            self._counts[_DANGLING] += int(np.count_nonzero(dangling))
+            frontier = frontier[~dangling]
+
+        if frontier.size:
+            prev_arg = (
+                self._previous[frontier]
+                if spec.needs_prev_vertex
+                else np.full(frontier.size, -1, dtype=np.int64)
+            )
+            batch = self._kernel.sample(
+                view,
+                self._current[frontier],
+                prev_arg,
+                spec.admissible_type(step),
+                streams,
+                frontier,
+            )
+            self._counts[_PROPOSALS] += batch.proposals
+            self._counts[_READS] += batch.neighbor_reads
+
+            terminated = batch.choice < 0
+            if terminated.any():
+                self._counts[_EARLY] += int(np.count_nonzero(terminated))
+                frontier = frontier[~terminated]
+            choice = batch.choice[batch.choice >= 0]
+
+            if frontier.size:
+                next_vertex = view.col[view.row_ptr[self._current[frontier]] + choice]
+                self._previous[frontier] = self._current[frontier]
+                self._current[frontier] = next_vertex
+                self._log_pos.append(self._positions[frontier].copy())
+                self._log_step.append(np.full(frontier.size, step, dtype=np.int64))
+                self._log_vert.append(next_vertex.copy())
+
+                teleport = spec.termination_probability(step)
+                if teleport > 0.0:
+                    stop = streams.uniforms(frontier) < teleport
+                    if stop.any():
+                        self._counts[_PROBABILISTIC] += int(np.count_nonzero(stop))
+                        frontier = frontier[~stop]
+
+        forwarded = self._exchange(frontier)
+        return int(self._current.size), forwarded, processed
+
+    def _exchange(self, survivors: np.ndarray) -> int:
+        """Route survivors by next-vertex owner; merge in immigrants.
+
+        Send-all before receive-all, peers in ascending shard order on
+        both sides, one message per peer per step even when empty — the
+        lockstep contract the module docstring relies on.
+        """
+        next_owner = (
+            self._owner[self._current[survivors]]
+            if survivors.size
+            else np.empty(0, dtype=np.int64)
+        )
+        forwarded = 0
+        for peer in self._peers:
+            departing = survivors[next_owner == peer]
+            self._send[peer].put(
+                (
+                    self._positions[departing],
+                    self._current[departing],
+                    self._previous[departing],
+                    self._states[departing],
+                )
+            )
+            forwarded += int(departing.size)
+        staying = survivors[next_owner == self._shard_id]
+        parts = [
+            (
+                self._positions[staying],
+                self._current[staying],
+                self._previous[staying],
+                self._states[staying],
+            )
+        ]
+        for peer in self._peers:
+            parts.append(self._recv[peer].get())
+        self._positions = np.concatenate([part[0] for part in parts])
+        self._current = np.concatenate([part[1] for part in parts])
+        self._previous = np.concatenate([part[2] for part in parts])
+        self._states = np.concatenate([part[3] for part in parts])
+        return forwarded
+
+    def collect(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Drain this run's hop logs and counters; reset for the next run.
+
+        Walkers still resident when the parent stops stepping ran to
+        ``max_length`` — the batch engine's length-termination bucket.
+        """
+        self._counts[_LENGTH] += int(self._positions.size)
+        if self._log_pos:
+            logs = (
+                np.concatenate(self._log_pos),
+                np.concatenate(self._log_step),
+                np.concatenate(self._log_vert),
+            )
+        else:
+            logs = (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        counts = self._counts.copy()
+        self._reset_run()
+        return logs[0], logs[1], logs[2], counts
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+
+def shard_worker_main(
+    shard_id, handle, spec, sampler_mode, ctrl, out, send_queues, recv_queues
+) -> None:
+    """Process entry point: serve control messages until ``("stop",)``.
+
+    Every failure — including during initialization — is reported to the
+    parent as an ``("error", shard_id, summary, traceback)`` message so
+    the engine can raise with the worker's real stack instead of hanging
+    on a reply that will never come.
+    """
+    state = None
+    try:
+        state = _ShardState(
+            shard_id, handle, spec, sampler_mode, send_queues, recv_queues
+        )
+        out.put(("ready", shard_id))
+        while True:
+            message = ctrl.get()
+            kind = message[0]
+            if kind == "run":
+                state.start_run(message[1], message[2], message[3])
+            elif kind == "step":
+                alive, forwarded, processed = state.superstep(message[1])
+                out.put(("stepped", shard_id, alive, forwarded, processed))
+            elif kind == "collect":
+                positions, steps, vertices, counts = state.collect()
+                out.put(("collected", shard_id, positions, steps, vertices, counts))
+            elif kind == "adopt":
+                state.adopt(message[1])
+                out.put(("adopted", shard_id, os.getpid()))
+            elif kind == "stop":
+                return
+            else:
+                raise ValueError(f"unknown dist control message {kind!r}")
+    except BaseException as error:
+        out.put(
+            (
+                "error",
+                shard_id,
+                f"{type(error).__name__}: {error}",
+                traceback.format_exc(),
+            )
+        )
+    finally:
+        if state is not None:
+            state.close()

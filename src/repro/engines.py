@@ -1,10 +1,11 @@
 """Engine registry: the one place that maps engine names to runners.
 
-Five engines execute the same ``WalkSpec``/``Query`` workloads and are
+Six engines execute the same ``WalkSpec``/``Query`` workloads and are
 held to the same statistical oracle: the cycle-level accelerator model
-(``sim``), the sharded multicore engine (``parallel``), the vectorized
-batch engine (``batch``), the numba-compiled fused-kernel engine
-(``jit``) and the pure-Python reference loop (``reference``).  The CLI
+(``sim``), the sharded multicore engine (``parallel``), the distributed
+shard-routed engine (``dist``), the vectorized batch engine (``batch``),
+the numba-compiled fused-kernel engine (``jit``) and the pure-Python
+reference loop (``reference``).  The CLI
 and the example applications both dispatch through this module so the
 engine list, each engine's option surface, and the timing methodology
 cannot drift between entry points.
@@ -23,6 +24,7 @@ from abc import ABC, abstractmethod
 from typing import Sequence
 
 from repro.core import RidgeWalker, RidgeWalkerConfig
+from repro.dist import DistWalkEngine, run_walks_dist
 from repro.errors import WalkConfigError
 from repro.graph.csr import CSRGraph
 from repro.memory.spec import HBM2_U55C
@@ -45,13 +47,14 @@ from repro.walks.jit import (
 )
 
 #: Every engine name accepted by ``--engine`` flags.
-ENGINES = ("sim", "batch", "jit", "parallel", "reference")
+ENGINES = ("sim", "batch", "jit", "parallel", "dist", "reference")
 
 #: The engines that run as plain software (no cycle model).
 SOFTWARE_ENGINES = {
     "batch": run_walks_batch,
     "jit": run_walks_jit,
     "parallel": run_walks_parallel,
+    "dist": run_walks_dist,
     "reference": run_walks,
 }
 
@@ -61,10 +64,12 @@ SOFTWARE_ENGINES = {
 #: engine: auto runs the cost-model-driven per-row hybrid of
 #: :mod:`repro.sampling.hybrid`.  ``backend`` (``"batch"`` | ``"jit"``)
 #: picks the per-shard core the parallel engine's workers run.
+#: ``shards`` sets the distributed engine's graph-partition count.
 ENGINE_OPTIONS: dict[str, frozenset[str]] = {
     "batch": frozenset({"sampler"}),
     "jit": frozenset({"sampler"}),
     "parallel": frozenset({"workers", "sampler", "backend"}),
+    "dist": frozenset({"shards", "sampler"}),
     "reference": frozenset({"sampler"}),
 }
 
@@ -339,11 +344,39 @@ class _PreparedParallelEngine(PreparedEngine):
         self._engine.close()
 
 
+class _PreparedDistEngine(PreparedEngine):
+    """Distributed engine handle wrapping persistent shard workers."""
+
+    name = "dist"
+
+    def __init__(self, graph: CSRGraph, spec: WalkSpec, shards: int | None = None,
+                 sampler: str = "default") -> None:
+        self._spec = spec
+        self._sampler_mode = validate_sampler_mode(sampler)
+        self._engine = DistWalkEngine(graph, spec, shards=shards, sampler=sampler)
+
+    def run(self, queries, seed=0, stats=None):
+        return self._engine.run(queries, seed=seed, stats=stats)
+
+    def swap_snapshot(self, snapshot) -> None:
+        graph, state = _resolve_snapshot(snapshot)
+        arrays = None
+        if state is not None:
+            arrays = state.kernel_arrays(
+                make_walk_kernel(self._spec.make_sampler(), self._sampler_mode)
+            )
+        self._engine.swap_graph(graph, kernel_arrays=arrays)
+
+    def close(self) -> None:
+        self._engine.close()
+
+
 _PREPARED_ENGINES = {
     "reference": _PreparedReferenceEngine,
     "batch": _PreparedBatchEngine,
     "jit": _PreparedJitEngine,
     "parallel": _PreparedParallelEngine,
+    "dist": _PreparedDistEngine,
 }
 
 

@@ -37,6 +37,15 @@ class MemoryModelError(ReproError):
     """Memory subsystem misconfiguration (channels, timing, capacity)."""
 
 
+class DistError(ReproError):
+    """A distributed-engine shard worker failed or broke protocol.
+
+    Carries the worker-side traceback in the message when one exists, so
+    a crash inside a shard process surfaces with its real stack instead
+    of a parent-side timeout.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation kernel detected an inconsistent state."""
 

@@ -47,6 +47,7 @@ _SWAP_BARRIER = None
 _SAMPLER_MODE = "default"
 _BACKEND = "batch"
 _JIT_STATE = None
+_INIT_ERROR: BaseException | None = None
 
 
 def init_worker(
@@ -70,20 +71,51 @@ def init_worker(
     engine or the fused jit kernels (bit-identical; the parent only
     requests ``"jit"`` when numba is importable).  The jit state is a
     zero-copy recast of the loaded kernel's arrays.
+
+    Failures are *stashed*, never raised: ``multiprocessing.Pool``
+    respawns any worker whose initializer raises, so an error here —
+    a corrupt handle, a kernel state that will not load — would loop
+    crash-and-respawn forever with the parent hung on its first task
+    and each dead worker leaking its half-initialized segment attach.
+    Instead the attach is closed, the error is recorded, and the first
+    task dispatched to this worker (:func:`run_shard` /
+    :func:`adopt_store`) re-raises it into the parent's result path.
     """
     global _STORE, _GRAPH, _SPEC, _KERNEL, _SWAP_BARRIER, _SAMPLER_MODE
-    global _BACKEND, _JIT_STATE
-    _STORE = SharedArrayStore.attach(handle, untrack=untrack_segment)
-    _GRAPH = graph_from_store(_STORE)
+    global _BACKEND, _JIT_STATE, _INIT_ERROR
+    _INIT_ERROR = None
+    store = None
+    try:
+        store = SharedArrayStore.attach(handle, untrack=untrack_segment)
+        graph = graph_from_store(store)
+        kernel = make_walk_kernel(spec.make_sampler(), sampler_mode)
+        kernel.load_state(kernel_state_from_store(store))
+        jit_state = (
+            jit_state_from_kernel(graph, spec, kernel) if backend == "jit" else None
+        )
+    except BaseException as error:
+        if store is not None:
+            store.close()
+        _INIT_ERROR = error
+        # Even a failed worker must hold its barrier party: a graph-swap
+        # broadcast waits on every worker, and a missing party would
+        # hang the healthy ones instead of surfacing this error.
+        _SWAP_BARRIER = swap_barrier
+        return
+    _STORE = store
+    _GRAPH = graph
     _SPEC = spec
     _SAMPLER_MODE = sampler_mode
-    _KERNEL = make_walk_kernel(spec.make_sampler(), sampler_mode)
-    _KERNEL.load_state(kernel_state_from_store(_STORE))
+    _KERNEL = kernel
     _BACKEND = backend
-    _JIT_STATE = (
-        jit_state_from_kernel(_GRAPH, spec, _KERNEL) if backend == "jit" else None
-    )
+    _JIT_STATE = jit_state
     _SWAP_BARRIER = swap_barrier
+
+
+def _check_init() -> None:
+    """Surface a stashed initializer failure on the first real task."""
+    if _INIT_ERROR is not None:
+        raise _INIT_ERROR
 
 
 def adopt_store(task):
@@ -99,6 +131,9 @@ def adopt_store(task):
     global _STORE, _GRAPH, _KERNEL, _JIT_STATE
     if _SWAP_BARRIER is not None:
         _SWAP_BARRIER.wait()
+    # After the barrier, not before: a worker that failed to initialize
+    # still shows up for the rendezvous, then reports its error.
+    _check_init()
     old_store = _STORE
     _STORE = SharedArrayStore.attach(handle, untrack=untrack)
     _GRAPH = graph_from_store(_STORE)
@@ -122,6 +157,7 @@ def run_shard(task):
     padding of the superstep buffer never crosses the process boundary
     and the gather cost parallelizes across workers.
     """
+    _check_init()
     positions, query_ids, starts, seed = task
     stats = EngineStats()
     if _BACKEND == "jit":

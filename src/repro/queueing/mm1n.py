@@ -11,6 +11,7 @@ zero-bubble design reasons about; the companion module
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -74,7 +75,9 @@ class BulkServiceQueue:
 
 
 def weighted_capacity_split(
-    service_rate: float, weights: Sequence[float]
+    service_rate: float,
+    weights: Sequence[float],
+    keys: Sequence[str] | None = None,
 ) -> list[float]:
     """Split one server's total service rate into per-class rates.
 
@@ -88,6 +91,15 @@ def weighted_capacity_split(
     :class:`BulkServiceQueue` stability checks and for
     :func:`repro.serve.admission.recommended_queue_depth` — a class
     stable on its share is stable in the shared system.
+
+    The shares sum to ``service_rate`` *exactly* (``math.fsum``), never
+    merely approximately: per-class division rounds each share, and the
+    lost (or invented) capacity would otherwise surface as per-tenant
+    admission depths that disagree with the sized total.  The rounding
+    residue is assigned deterministically to the largest-fraction class
+    — the largest share absorbs a sub-ulp correction with the least
+    relative distortion — with ``keys`` (tenant names) breaking ties, so
+    equal-weight configurations cannot flap between runs.
     """
     if service_rate <= 0:
         raise SchedulerError("service_rate must be positive")
@@ -95,8 +107,35 @@ def weighted_capacity_split(
         raise SchedulerError("weighted_capacity_split needs at least one class")
     if any(w <= 0 for w in weights):
         raise SchedulerError(f"class weights must be positive, got {list(weights)}")
-    total = float(sum(weights))
-    return [service_rate * float(w) / total for w in weights]
+    if keys is not None and len(keys) != len(weights):
+        raise SchedulerError(
+            f"got {len(keys)} keys for {len(weights)} class weights"
+        )
+    total = math.fsum(float(w) for w in weights)
+    shares = [service_rate * float(w) / total for w in weights]
+    order = sorted(
+        range(len(shares)),
+        key=(lambda i: (-shares[i], keys[i])) if keys is not None
+        else (lambda i: (-shares[i], i)),
+    )
+    anchor = order[0]
+    shares[anchor] = service_rate - math.fsum(
+        share for i, share in enumerate(shares) if i != anchor
+    )
+    # The anchor correction can leave a sub-ulp residue when the anchor
+    # shares the total's binade (its ulp is too coarse to express the
+    # fix); walking down to smaller shares reaches one with a fine
+    # enough ulp to absorb it exactly.
+    for index in order:
+        for _ in range(2):
+            residue = math.fsum([service_rate, *(-share for share in shares)])
+            if residue == 0.0:
+                return shares
+            corrected = shares[index] + residue
+            if corrected <= 0.0:  # pragma: no cover - ~1e16 weight ratios
+                break
+            shares[index] = corrected
+    return shares
 
 
 def zero_bubble_condition(

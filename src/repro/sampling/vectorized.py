@@ -188,6 +188,34 @@ class QueryStreams:
         # object cost (see seed_sequence_states).
         self._state = seed_sequence_states(seed, query_ids)
 
+    @classmethod
+    def from_states(cls, states: np.ndarray) -> "QueryStreams":
+        """Resume streams from raw splitmix64 states, by reference.
+
+        The distributed engine ships an in-flight walker between shards
+        as ``(query_id, step, vertex, rng state)``; the receiving shard
+        wraps the carried state array — zero-copy, so every draw
+        advances the caller's array in place — and the walk continues
+        bit-identically to one that never crossed a shard boundary.
+        ``states`` must be the uint64 array a :class:`QueryStreams`
+        seeded from ``SeedSequence((seed, query_id))`` would hold (see
+        :func:`seed_sequence_states`); arbitrary integers would step
+        outside the per-query substream contract.
+        """
+        states = np.asarray(states)
+        if states.dtype != np.uint64 or states.ndim != 1:
+            raise SamplingError(
+                f"stream states must be a 1-D uint64 array, got "
+                f"{states.dtype} with shape {states.shape}"
+            )
+        streams = cls.__new__(cls)
+        streams._state = states
+        return streams
+
+    def states(self) -> np.ndarray:
+        """The live per-stream state array (mutates as draws are made)."""
+        return self._state
+
     @property
     def num_streams(self) -> int:
         return self._state.size

@@ -32,6 +32,7 @@ offline replay oracle regardless of tenant interleaving.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -104,7 +105,19 @@ def size_tenant_depths(
     its capacity share is unstable *by declaration* and rejected loudly —
     admission control cannot bound its latency, only shed it.
     """
-    shares = weighted_capacity_split(service_rate, [s.weight for s in specs])
+    shares = weighted_capacity_split(
+        service_rate,
+        [s.weight for s in specs],
+        keys=[s.name for s in specs],
+    )
+    # The split's exact-sum contract is what makes per-tenant sizing
+    # sound: a share lost to rounding would size some gate against
+    # capacity nobody is ever dispatched.
+    if math.fsum(shares) != service_rate:
+        raise ServeError(
+            f"tenant capacity shares sum to {math.fsum(shares)!r}, not the "
+            f"service rate {service_rate!r} being split"
+        )
     depths: dict[str, int] = {}
     for spec, share in zip(specs, shares):
         if spec.queue_depth is not None:

@@ -381,6 +381,11 @@ class WalkService:
         while not self._queue.empty():
             item = self._queue.get_nowait()
             if isinstance(item, _PoolFill):
+                # The cache marked this vertex in-flight at enqueue time;
+                # without the abort a restart sharing this cache object
+                # would treat the vertex as forever-filling and never
+                # trigger (or serve) another fill for it.
+                self.cache.fill_aborted(item.start_vertex)
                 continue
             if not item.future.done():
                 item.future.set_exception(

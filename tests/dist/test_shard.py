@@ -1,0 +1,112 @@
+"""Shard partitioning and per-shard shared-memory store hygiene."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dist import build_shard_stores, partition_vertices, shard_view_from_store
+from repro.graph import load_dataset
+from repro.parallel.shared_graph import SharedArrayStore
+from repro.sampling.vectorized import make_kernel
+from repro.walks import DeepWalkSpec, URWSpec
+
+
+def _graph():
+    return load_dataset("WG", scale=0.05, seed=1, weighted=True)
+
+
+def _kernel_arrays(graph, spec):
+    kernel = make_kernel(spec.make_sampler())
+    kernel.prepare(graph)
+    return kernel.state_arrays()
+
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs hosts
+        return set()
+
+
+class TestPartition:
+    def test_owner_map_covers_every_vertex(self):
+        graph = _graph()
+        owner = partition_vertices(graph, URWSpec(max_length=5), 3)
+        assert owner.shape == (graph.num_vertices,)
+        assert set(np.unique(owner)) <= {0, 1, 2}
+        # Every shard owns something on a graph much larger than 3.
+        assert len(set(np.unique(owner))) == 3
+
+    def test_partition_is_deterministic(self):
+        graph = _graph()
+        spec = DeepWalkSpec(max_length=5)
+        assert np.array_equal(
+            partition_vertices(graph, spec, 4), partition_vertices(graph, spec, 4)
+        )
+
+
+class TestShardStores:
+    def test_views_roundtrip_owned_rows(self):
+        graph = _graph()
+        spec = DeepWalkSpec(max_length=5)
+        owner = partition_vertices(graph, spec, 2)
+        stores = build_shard_stores(graph, _kernel_arrays(graph, spec), owner, 2)
+        try:
+            for shard, store in enumerate(stores):
+                view, owner_view = shard_view_from_store(store)
+                assert np.array_equal(owner_view, owner)
+                assert view.num_vertices == graph.num_vertices
+                assert np.array_equal(view.degrees(), graph.degrees())
+                owned = np.nonzero(owner == shard)[0]
+                for v in owned[:20]:
+                    lo, hi = graph.row_ptr[v], graph.row_ptr[v + 1]
+                    start = view.row_ptr[v]
+                    assert np.array_equal(
+                        view.col[start:start + (hi - lo)], graph.col[lo:hi]
+                    )
+        finally:
+            for store in stores:
+                store.close()
+
+    def test_non_owned_rows_are_poisoned(self):
+        # Reading a foreign row must blow up (IndexError), never silently
+        # sample another shard's edges.
+        graph = _graph()
+        spec = URWSpec(max_length=5)
+        owner = partition_vertices(graph, spec, 2)
+        stores = build_shard_stores(graph, _kernel_arrays(graph, spec), owner, 2)
+        try:
+            view, _ = shard_view_from_store(stores[0])
+            foreign = np.nonzero(owner == 1)[0]
+            victim = next(int(v) for v in foreign if graph.degrees()[v] > 0)
+            assert view.row_ptr[victim] == view.col.size
+            with pytest.raises(IndexError):
+                view.col[view.row_ptr[victim]]
+        finally:
+            for store in stores:
+                store.close()
+
+    def test_failure_midway_unlinks_created_segments(self, monkeypatch):
+        """RW103 audit: a crash partway through bring-up must not strand
+        the already-created shards' segments in /dev/shm."""
+        graph = _graph()
+        spec = URWSpec(max_length=5)
+        owner = partition_vertices(graph, spec, 3)
+        arrays = _kernel_arrays(graph, spec)
+
+        real_create = SharedArrayStore.create.__func__
+        calls = {"n": 0}
+
+        def flaky_create(cls, store_arrays, graph_name="graph"):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("injected segment failure")
+            return real_create(cls, store_arrays, graph_name=graph_name)
+
+        monkeypatch.setattr(SharedArrayStore, "create", classmethod(flaky_create))
+        before = _shm_segments()
+        with pytest.raises(RuntimeError, match="injected segment failure"):
+            build_shard_stores(graph, arrays, owner, 3)
+        assert calls["n"] == 3  # two stores existed when the third failed
+        assert _shm_segments() == before

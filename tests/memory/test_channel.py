@@ -122,6 +122,71 @@ class TestReorderWindow:
         with pytest.raises(MemoryModelError):
             ch.deliver_out_of_order(lambda r: True, window=0)
 
+    def test_window_of_one_degenerates_to_in_order(self):
+        # window=1 offers only the head: a rejection at the head delivers
+        # nothing and moves nothing, exactly in-order semantics.
+        ch = make_channel(rate_mhz=320.0, latency=1, queue=10)
+        for tag in ("a", "b", "c"):
+            ch.submit(MemoryRequest(tag=tag))
+        for _ in range(10):
+            ch.tick()
+        offered = []
+        delivered = ch.deliver_out_of_order(
+            lambda req: offered.append(req.tag) or False, window=1
+        )
+        assert delivered == 0
+        assert offered == ["a"]
+        assert ch.peek_response().tag == "a"
+        # Accepting the head with window=1 consumes exactly one.
+        assert ch.deliver_out_of_order(lambda req: True, window=1) == 1
+        assert ch.peek_response().tag == "b"
+
+    def test_window_larger_than_pending(self):
+        # The scan is bounded by what has completed, not the window: a
+        # huge window over two responses offers two, delivers two, and a
+        # second call on the drained queue is a no-op.
+        ch = make_channel(rate_mhz=320.0, latency=1, queue=10)
+        for tag in ("a", "b"):
+            ch.submit(MemoryRequest(tag=tag))
+        for _ in range(10):
+            ch.tick()
+        offered = []
+        delivered = ch.deliver_out_of_order(
+            lambda req: offered.append(req.tag) or True, window=1000
+        )
+        assert delivered == 2
+        assert offered == ["a", "b"]
+        assert not ch.has_response()
+        assert ch.deliver_out_of_order(lambda req: True, window=1000) == 0
+
+    def test_responses_arriving_during_drain_wait_their_turn(self):
+        # A response that completes *while* a drain call is running (the
+        # delivery callback ticks the channel, as a cycle-driven consumer
+        # does) must not be offered by the in-progress call — the scan is
+        # over the snapshot at call time — and must queue behind the
+        # survivors of that scan.
+        ch = make_channel(rate_mhz=320.0, latency=3, queue=10)
+        ch.submit(MemoryRequest(tag="early"))
+        for _ in range(6):
+            ch.tick()
+        assert ch.has_response()
+        ch.submit(MemoryRequest(tag="late"))
+
+        offered = []
+
+        def tick_through(req):
+            offered.append(req.tag)
+            for _ in range(10):
+                ch.tick()  # "late" completes mid-drain
+            return False
+
+        ch.deliver_out_of_order(tick_through, window=8)
+        assert offered == ["early"]
+        # Both remain, original arrival order intact for the next call.
+        seen = []
+        ch.deliver_out_of_order(lambda req: seen.append(req.tag) or True, window=8)
+        assert seen == ["early", "late"]
+
 
 class TestAccounting:
     def test_drain_complete(self):

@@ -99,6 +99,43 @@ class TestQueryStreams:
         assert flat.shape == (9,)
         assert flat.min() >= 0.0 and flat.max() < 1.0
 
+    def test_from_states_resumes_bit_identically(self):
+        # The forwarding contract: draws, a state hand-off, then more
+        # draws must equal one uninterrupted stream.
+        oracle = QueryStreams(5, [3, 7, 11])
+        live = QueryStreams(5, [3, 7, 11])
+        idx = np.arange(3)
+        oracle.uniforms(idx)
+        live.uniforms(idx)
+        resumed = QueryStreams.from_states(live.states().copy())
+        assert np.array_equal(oracle.uniforms(idx), resumed.uniforms(idx))
+
+    def test_from_states_wraps_by_reference(self):
+        # Zero-copy: draws through the wrapper advance the caller's
+        # array in place, so a shard's walker table IS the RNG state.
+        carried = QueryStreams(1, [0, 1]).states().copy()
+        before = carried.copy()
+        streams = QueryStreams.from_states(carried)
+        assert streams.states() is carried
+        streams.uniforms(np.arange(2))
+        assert not np.array_equal(carried, before)
+
+    def test_from_states_permutation_matches_reseeding(self):
+        # Forwarding reorders walkers arbitrarily; a permuted slice of
+        # the state array must behave as streams for the permuted ids.
+        states = seed_sequence_states(9, [0, 1, 2, 3])
+        perm = np.array([2, 0, 3, 1])
+        shuffled = QueryStreams.from_states(states[perm].copy())
+        direct = QueryStreams(9, [2, 0, 3, 1])
+        idx = np.arange(4)
+        assert np.array_equal(shuffled.uniforms(idx), direct.uniforms(idx))
+
+    def test_from_states_validates_dtype_and_shape(self):
+        with pytest.raises(SamplingError, match="1-D uint64"):
+            QueryStreams.from_states(np.zeros(3, dtype=np.int64))
+        with pytest.raises(SamplingError, match="1-D uint64"):
+            QueryStreams.from_states(np.zeros((2, 2), dtype=np.uint64))
+
 
 class TestEdgeKeys:
     def test_matches_has_edge_everywhere(self):

@@ -320,3 +320,39 @@ class TestServiceCache:
                                                  + service.stats.failed)
 
         drive(scenario())
+
+    def test_stop_with_queued_fill_does_not_wedge_cache(self):
+        """Regression: a no-drain stop used to discard queued ``_PoolFill``
+        items without telling the cache, leaving the vertex marked
+        in-flight forever — every later miss saw "a fill is already
+        running" and the pool could never be built again."""
+        graph = powerlaw(num_vertices=20, num_edges=60, seed=1, name="c5")
+        spec = URWSpec(max_length=3)
+        cache = HotWalkCache(pool_size=2, hot_threshold=1)
+        config = ServeConfig(max_batch=4, max_wait_ms=50.0, queue_depth=64)
+
+        async def interrupted():
+            service = WalkService(graph, spec, seed=5, config=config, cache=cache)
+            await service.start()
+            # Queue the fill and stop before the dispatcher can run it.
+            pending = service.try_submit_cached(2)
+            await service.stop(drain=False)
+            with pytest.raises(ServeError):
+                await pending
+
+        drive(interrupted())
+        # The vertex must not be stuck "filling": a fresh miss at the
+        # threshold re-triggers pool generation on the reused cache.
+        assert cache.note_miss(0, 2) is not None
+        cache.fill_aborted(2)  # undo the probe's marker
+
+        async def reused():
+            fast = ServeConfig(max_batch=4, max_wait_ms=0.5, queue_depth=64)
+            async with WalkService(graph, spec, seed=5, config=fast,
+                                   cache=cache) as service:
+                first = await service.submit_cached(2)
+                second = await service.submit_cached(2)
+                assert not first.cache_hit
+                assert second.cache_hit
+
+        drive(reused())

@@ -61,6 +61,48 @@ class TestWeightedCapacitySplit:
             weighted_capacity_split(10.0, [])
         with pytest.raises(SchedulerError):
             weighted_capacity_split(10.0, [2, 0])
+        with pytest.raises(SchedulerError):
+            weighted_capacity_split(10.0, [2, 1], keys=["only-one"])
+
+    def test_shares_sum_exactly(self):
+        # The per-class divisions round; the split must still conserve
+        # the total bit-for-bit (math.fsum detects any ulp lost).
+        import math
+
+        for rate, weights in [
+            (100.0, [1, 1, 1]),          # 1/3 shares: classic rounding loss
+            (90.0, [8, 1]),
+            (0.3, [7, 11, 13]),
+            (1e9, [1, 2, 3, 4, 5, 6, 7]),
+            # Regression: anchor share in the total's binade — a single
+            # largest-share correction is sub-ulp and cannot converge;
+            # the residue must walk down to a smaller share.
+            (903010.7076379164, [45, 2]),
+        ]:
+            shares = weighted_capacity_split(rate, weights)
+            assert math.fsum(shares) == rate, (rate, weights, shares)
+            assert all(s > 0 for s in shares)
+
+    def test_shares_sum_exactly_fuzz(self):
+        import math
+        import random
+
+        rng = random.Random(20260808)
+        for _ in range(2000):
+            n = rng.randint(1, 8)
+            weights = [rng.randint(1, 100) for _ in range(n)]
+            rate = rng.uniform(1e-3, 1e6)
+            assert math.fsum(weighted_capacity_split(rate, weights)) == rate
+
+    def test_residue_assignment_is_deterministic_under_ties(self):
+        # Equal weights tie on share; keys (tenant names) break the tie,
+        # so the same config always corrects the same class regardless of
+        # declaration order.
+        by_pos = weighted_capacity_split(100.0, [1, 1, 1])
+        assert weighted_capacity_split(100.0, [1, 1, 1]) == by_pos
+        keyed_abc = weighted_capacity_split(100.0, [1, 1, 1], keys=["a", "b", "c"])
+        keyed_cba = weighted_capacity_split(100.0, [1, 1, 1], keys=["c", "b", "a"])
+        assert keyed_abc == list(reversed(keyed_cba))
 
 
 class TestTenantSpec:
@@ -93,6 +135,14 @@ class TestSizeTenantDepths:
             service_rate=100.0, max_batch=4)["a"]
         assert cool >= MIN_DEPTH_BATCHES * 4
         assert hot > cool
+
+    def test_shares_conserve_service_rate(self):
+        # The exact-sum invariant asserted inside size_tenant_depths must
+        # hold for awkward rates and many equal-weight tenants — the
+        # configurations where naive division loses capacity.
+        specs = tuple(TenantSpec(f"t{i}") for i in range(7))
+        depths = size_tenant_depths(specs, service_rate=0.1 + 0.2, max_batch=4)
+        assert set(depths) == {f"t{i}" for i in range(7)}
 
     def test_rate_beyond_share_rejected(self):
         # 10% weight share of 100/s = 10/s capacity; declaring 50/s is
